@@ -1,0 +1,132 @@
+//! Cache hierarchy descriptions.
+//!
+//! Latencies are stored in *core cycles* — the architecturally meaningful
+//! unit — and converted to wall time with the owning core's clock. The
+//! paper's measured values then fall out: e.g. the Sandy Bridge L1 at
+//! 4 cycles / 2.6 GHz = 1.54 ns matches the measured 1.5 ns, and the Phi L2
+//! at 24 cycles / 1.05 GHz = 22.9 ns matches exactly.
+
+/// Position of a cache in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheLevel {
+    /// First-level data cache (the instruction L1 is not modeled: none of
+    /// the paper's benchmarks are front-end bound).
+    L1,
+    /// Per-core unified second-level cache.
+    L2,
+    /// Shared last-level cache (Sandy Bridge only; the Phi has no L3).
+    L3,
+}
+
+impl CacheLevel {
+    /// Report label ("L1", "L2", "L3").
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+        }
+    }
+}
+
+/// One level of cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSpec {
+    pub level: CacheLevel,
+    /// Capacity in bytes, per sharing domain (per core for L1/L2, per
+    /// processor for a shared L3).
+    pub size_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Set associativity.
+    pub associativity: u32,
+    /// Number of cores sharing one instance of this cache (1 = private).
+    pub shared_by_cores: u32,
+    /// Load-to-use latency in core cycles.
+    pub latency_cycles: u32,
+    /// Sustained single-thread read bandwidth in bytes per core cycle for a
+    /// dependent-load-free streaming read that hits this level.
+    /// Calibrated against Figure 6 of the paper.
+    pub read_bytes_per_cycle: f64,
+    /// Sustained single-thread write bandwidth in bytes per core cycle.
+    pub write_bytes_per_cycle: f64,
+}
+
+impl CacheSpec {
+    /// Number of sets implied by size, line and associativity.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// line × associativity).
+    pub fn num_sets(&self) -> u64 {
+        let ways_bytes = self.line_bytes as u64 * self.associativity as u64;
+        assert!(
+            ways_bytes > 0 && self.size_bytes % ways_bytes == 0,
+            "inconsistent cache geometry: {} B / ({} B line x {} ways)",
+            self.size_bytes,
+            self.line_bytes,
+            self.associativity
+        );
+        self.size_bytes / ways_bytes
+    }
+
+    /// Load-to-use latency in nanoseconds at the given core frequency.
+    pub fn latency_ns(&self, freq_ghz: f64) -> f64 {
+        self.latency_cycles as f64 / freq_ghz
+    }
+
+    /// Sustained single-thread read bandwidth in GB/s at the given core
+    /// frequency.
+    pub fn read_bw_gbs(&self, freq_ghz: f64) -> f64 {
+        self.read_bytes_per_cycle * freq_ghz
+    }
+
+    /// Sustained single-thread write bandwidth in GB/s.
+    pub fn write_bw_gbs(&self, freq_ghz: f64) -> f64 {
+        self.write_bytes_per_cycle * freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheSpec {
+        CacheSpec {
+            level: CacheLevel::L1,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+            shared_by_cores: 1,
+            latency_cycles: 4,
+            read_bytes_per_cycle: 4.85,
+            write_bytes_per_cycle: 4.0,
+        }
+    }
+
+    #[test]
+    fn set_count_from_geometry() {
+        assert_eq!(l1().num_sets(), 64);
+    }
+
+    #[test]
+    fn latency_ns_scales_with_clock() {
+        let c = l1();
+        assert!((c.latency_ns(2.6) - 1.538).abs() < 0.01);
+        assert!((c.latency_ns(1.3) - 3.077).abs() < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_clock() {
+        let c = l1();
+        assert!((c.read_bw_gbs(2.6) - 12.61).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent cache geometry")]
+    fn bad_geometry_is_rejected() {
+        let mut c = l1();
+        c.size_bytes = 1000; // not divisible by 64*8
+        let _ = c.num_sets();
+    }
+}

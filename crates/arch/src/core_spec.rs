@@ -1,0 +1,123 @@
+//! Core microarchitecture descriptions.
+
+/// In-order vs out-of-order execution. The Phi's P54C-derived cores are
+/// in-order, which is why it leans on 4-way hardware multithreading to hide
+/// latency, while Sandy Bridge hides latency in its out-of-order window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionStyle {
+    InOrder,
+    OutOfOrder,
+}
+
+/// Flavor of simultaneous multithreading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadingKind {
+    /// Sandy Bridge HyperThreading: 2 contexts aimed at filling issue
+    /// slots; can be disabled in firmware, and compute-bound codes often
+    /// run *slower* with it on.
+    HyperThreading,
+    /// MIC hardware threads: 4 contexts aimed at hiding in-order stalls;
+    /// always on, and a core cannot issue from the same context in
+    /// back-to-back cycles (so ≥2 threads/core are needed to reach peak
+    /// issue rate).
+    HardwareThreads,
+}
+
+/// One CPU core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// Base clock in GHz.
+    pub freq_ghz: f64,
+    /// Maximum turbo clock in GHz (None when the part has no turbo, as on
+    /// the Phi).
+    pub turbo_ghz: Option<f64>,
+    /// Double-precision floating-point operations per cycle at peak
+    /// (SIMD lanes × ports × FMA factor).
+    pub flops_per_cycle: u32,
+    /// SIMD vector register width in bits.
+    pub simd_bits: u32,
+    /// Hardware thread contexts per core.
+    pub hw_threads: u32,
+    pub threading: ThreadingKind,
+    pub execution: ExecutionStyle,
+    /// Whether a context can issue in consecutive cycles. False on the Phi:
+    /// a single thread per core can use at most half the issue slots.
+    pub back_to_back_issue: bool,
+}
+
+impl CoreSpec {
+    /// Peak double-precision Gflop/s of one core at base clock.
+    pub fn peak_gflops(&self) -> f64 {
+        self.freq_ghz * self.flops_per_cycle as f64
+    }
+
+    /// SIMD lanes for 8-byte (double) elements.
+    pub fn simd_dp_lanes(&self) -> u32 {
+        self.simd_bits / 64
+    }
+
+    /// The fraction of peak issue rate available to `threads` resident
+    /// contexts on this core.
+    ///
+    /// On back-to-back capable cores this is 1.0 for any thread count. On
+    /// the Phi a single thread reaches at most 50% of issue slots; two or
+    /// more threads can fill them.
+    pub fn issue_efficiency(&self, threads: u32) -> f64 {
+        assert!(
+            threads >= 1 && threads <= self.hw_threads,
+            "thread count {threads} outside 1..={}",
+            self.hw_threads
+        );
+        if self.back_to_back_issue {
+            1.0
+        } else {
+            // In-order MIC cores cannot issue back-to-back from one
+            // context; additional contexts progressively fill the issue
+            // slots and hide pipeline stalls.
+            match threads {
+                1 => 0.5,
+                2 => 0.85,
+                3 => 0.95,
+                _ => 1.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phi_core() -> CoreSpec {
+        CoreSpec {
+            freq_ghz: 1.05,
+            turbo_ghz: None,
+            flops_per_cycle: 16,
+            simd_bits: 512,
+            hw_threads: 4,
+            threading: ThreadingKind::HardwareThreads,
+            execution: ExecutionStyle::InOrder,
+            back_to_back_issue: false,
+        }
+    }
+
+    #[test]
+    fn phi_core_peak_matches_table1() {
+        assert!((phi_core().peak_gflops() - 16.8).abs() < 1e-9);
+        assert_eq!(phi_core().simd_dp_lanes(), 8);
+    }
+
+    #[test]
+    fn single_thread_on_phi_reaches_half_issue_rate() {
+        let c = phi_core();
+        assert_eq!(c.issue_efficiency(1), 0.5);
+        assert!(c.issue_efficiency(2) > 0.5 && c.issue_efficiency(2) < 1.0);
+        assert_eq!(c.issue_efficiency(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn issue_efficiency_rejects_overcommit() {
+        let _ = phi_core().issue_efficiency(5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Identity of the compute devices inside one Maia node.
+
+use std::fmt;
+
+/// One of the three compute devices in a Maia node: the Sandy Bridge host
+/// (the paper treats the two host sockets collectively as "the host") or
+/// one of the two Xeon Phi coprocessor cards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Device {
+    /// The two-socket Sandy Bridge host.
+    Host,
+    /// First Phi card, attached to the first PCIe bus (shared with the
+    /// InfiniBand HCA).
+    Phi0,
+    /// Second Phi card, on the second PCIe bus; reaching it from the host
+    /// crosses the inter-socket QPI, which is why the paper measures higher
+    /// latency for host↔Phi1 than host↔Phi0.
+    Phi1,
+}
+
+impl Device {
+    /// All devices in a node, in canonical order.
+    pub const ALL: [Device; 3] = [Device::Host, Device::Phi0, Device::Phi1];
+
+    /// Whether this device is a Phi coprocessor.
+    pub fn is_phi(self) -> bool {
+        matches!(self, Device::Phi0 | Device::Phi1)
+    }
+
+    /// Short lowercase label used in reports ("host", "phi0", "phi1").
+    pub fn label(self) -> &'static str {
+        match self {
+            Device::Host => "host",
+            Device::Phi0 => "phi0",
+            Device::Phi1 => "phi1",
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_kinds() {
+        assert_eq!(Device::Host.label(), "host");
+        assert!(!Device::Host.is_phi());
+        assert!(Device::Phi0.is_phi());
+        assert!(Device::Phi1.is_phi());
+        assert_eq!(format!("{}", Device::Phi1), "phi1");
+    }
+
+    #[test]
+    fn all_lists_each_device_once() {
+        let mut seen = Device::ALL.to_vec();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+}

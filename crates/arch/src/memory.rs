@@ -1,0 +1,107 @@
+//! Main-memory subsystem descriptions.
+
+/// Memory technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryKind {
+    /// DDR3 SDRAM (host).
+    Ddr3,
+    /// GDDR5 graphics memory (Phi cards).
+    Gddr5,
+}
+
+/// One device's main memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySpec {
+    pub kind: MemoryKind,
+    /// Independent memory channels.
+    pub channels: u32,
+    /// Per-channel transfer rate in mega-transfers per second.
+    pub rate_mts: u32,
+    /// Bytes transferred per channel per transfer (bus width / 8).
+    pub bytes_per_transfer: u32,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Independent banks per memory device; with GDDR5's 16 banks/device ×
+    /// 8 devices on the Phi, at most 128 pages can be open at once, which
+    /// is why STREAM bandwidth collapses past 128 concurrent access
+    /// streams (Figure 4 of the paper).
+    pub banks_per_device: u32,
+    /// Number of memory devices (chips) on the bus.
+    pub devices: u32,
+    /// Idle (unloaded) access latency in nanoseconds, including the
+    /// on-chip fabric hop: 81 ns on the host, 295 ns on the Phi (ring +
+    /// GDDR5).
+    pub idle_latency_ns: f64,
+    /// Fraction of peak bandwidth sustainable by an ideal streaming kernel
+    /// (STREAM-style). DDR3 with an out-of-order prefetching core sustains
+    /// ~0.75 of peak; GDDR5 behind in-order cores sustains ~0.56.
+    pub stream_efficiency: f64,
+    /// Sustained *single-thread* read bandwidth in GB/s (Figure 6 plateau
+    /// for working sets past the last cache level).
+    pub per_core_read_gbs: f64,
+    /// Sustained single-thread write bandwidth in GB/s.
+    pub per_core_write_gbs: f64,
+}
+
+impl MemorySpec {
+    /// Peak bandwidth in GB/s: channels × rate × bytes/transfer.
+    pub fn peak_bw_gbs(&self) -> f64 {
+        self.channels as f64 * self.rate_mts as f64 * 1e6 * self.bytes_per_transfer as f64 / 1e9
+    }
+
+    /// Total independently open banks (devices × banks/device).
+    pub fn total_banks(&self) -> u32 {
+        self.banks_per_device * self.devices
+    }
+
+    /// Sustained aggregate streaming bandwidth in GB/s.
+    pub fn sustained_bw_gbs(&self) -> f64 {
+        self.peak_bw_gbs() * self.stream_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_mem() -> MemorySpec {
+        MemorySpec {
+            kind: MemoryKind::Ddr3,
+            channels: 4,
+            rate_mts: 1600,
+            bytes_per_transfer: 8,
+            capacity_bytes: 16 * (1 << 30),
+            banks_per_device: 8,
+            devices: 8,
+            idle_latency_ns: 81.0,
+            stream_efficiency: 0.75,
+            per_core_read_gbs: 7.5,
+            per_core_write_gbs: 7.2,
+        }
+    }
+
+    #[test]
+    fn ddr3_1600_peak_is_51_2_gbs_per_socket() {
+        assert!((host_mem().peak_bw_gbs() - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gddr5_peak_and_banks() {
+        let phi = MemorySpec {
+            kind: MemoryKind::Gddr5,
+            channels: 16,
+            rate_mts: 5000,
+            bytes_per_transfer: 4,
+            capacity_bytes: 8 * (1 << 30),
+            banks_per_device: 16,
+            devices: 8,
+            idle_latency_ns: 295.0,
+            stream_efficiency: 0.5625,
+            per_core_read_gbs: 0.504,
+            per_core_write_gbs: 0.263,
+        };
+        assert!((phi.peak_bw_gbs() - 320.0).abs() < 1e-9);
+        assert_eq!(phi.total_banks(), 128);
+        assert!((phi.sustained_bw_gbs() - 180.0).abs() < 1.0);
+    }
+}

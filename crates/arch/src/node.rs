@@ -1,0 +1,159 @@
+//! Node-level composition: sockets, coprocessor cards, and on-node fabrics.
+
+use crate::processor::ProcessorSpec;
+
+/// PCI Express generation, determining the per-lane signaling rate and
+/// encoding efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcieGen {
+    /// 5 GT/s per lane with 8b/10b encoding (80% efficiency).
+    Gen2,
+    /// 8 GT/s per lane with 128b/130b encoding (~98.5% efficiency).
+    Gen3,
+}
+
+impl PcieGen {
+    /// Raw signaling rate per lane, giga-transfers per second.
+    pub fn rate_gts(self) -> f64 {
+        match self {
+            PcieGen::Gen2 => 5.0,
+            PcieGen::Gen3 => 8.0,
+        }
+    }
+
+    /// Line-coding efficiency.
+    pub fn encoding_efficiency(self) -> f64 {
+        match self {
+            PcieGen::Gen2 => 0.8,
+            PcieGen::Gen3 => 128.0 / 130.0,
+        }
+    }
+}
+
+/// A PCIe port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSpec {
+    pub gen: PcieGen,
+    pub lanes: u32,
+}
+
+impl PcieSpec {
+    /// Usable payload-agnostic link bandwidth in GB/s per direction
+    /// (signaling rate × lanes × encoding efficiency / 8 bits).
+    pub fn link_bw_gbs(&self) -> f64 {
+        self.gen.rate_gts() * self.lanes as f64 * self.gen.encoding_efficiency() / 8.0
+    }
+}
+
+/// Inter-socket QPI description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpiSpec {
+    /// Parallel links between the two sockets.
+    pub links: u32,
+    /// Giga-transfers per second per link.
+    pub rate_gts: f64,
+    /// Bytes moved per transfer in each direction.
+    pub bytes_per_transfer_per_dir: u32,
+}
+
+impl QpiSpec {
+    /// Bidirectional bandwidth of one link in GB/s — the "aggregate rate of
+    /// 32 GB/s" the paper quotes for 8 GT/s × 2 B in each direction.
+    pub fn per_link_bidir_gbs(&self) -> f64 {
+        self.rate_gts * self.bytes_per_transfer_per_dir as f64 * 2.0
+    }
+
+    /// One-direction bandwidth of a single link in GB/s.
+    pub fn per_link_one_way_gbs(&self) -> f64 {
+        self.rate_gts * self.bytes_per_transfer_per_dir as f64
+    }
+}
+
+/// One Maia node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    pub host_sockets: u32,
+    pub host_processor: ProcessorSpec,
+    pub phi_cards: u32,
+    pub phi_processor: ProcessorSpec,
+    pub qpi: QpiSpec,
+    /// The PCIe interface on each Phi card (Gen2 ×16 — the host↔Phi
+    /// bottleneck).
+    pub pcie_phi: PcieSpec,
+    /// The host root-complex PCIe capability.
+    pub pcie_host: PcieSpec,
+}
+
+impl NodeSpec {
+    /// Host cores in the node.
+    pub fn host_cores(&self) -> u32 {
+        self.host_sockets * self.host_processor.cores
+    }
+
+    /// Phi cores in the node.
+    pub fn phi_cores(&self) -> u32 {
+        self.phi_cards * self.phi_processor.cores
+    }
+
+    /// Host peak Gflop/s.
+    pub fn host_peak_gflops(&self) -> f64 {
+        self.host_sockets as f64 * self.host_processor.peak_gflops()
+    }
+
+    /// Phi peak Gflop/s.
+    pub fn phi_peak_gflops(&self) -> f64 {
+        self.phi_cards as f64 * self.phi_processor.peak_gflops()
+    }
+
+    /// Host memory per node in bytes (32 GB on Maia).
+    pub fn host_memory_bytes(&self) -> u64 {
+        self.host_sockets as u64 * self.host_processor.memory.capacity_bytes
+    }
+
+    /// Phi memory per node in bytes (2 × 8 GB on Maia).
+    pub fn phi_memory_bytes(&self) -> u64 {
+        self.phi_cards as u64 * self.phi_processor.memory.capacity_bytes
+    }
+
+    /// Consistency checks for the node description.
+    ///
+    /// # Panics
+    /// Panics on the first inconsistency.
+    pub fn validate(&self) {
+        assert!(self.host_sockets > 0 && self.phi_cards > 0);
+        self.host_processor.validate();
+        self.phi_processor.validate();
+        assert!(self.qpi.links > 0);
+        assert!(self.pcie_phi.lanes > 0 && self.pcie_host.lanes > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::maia_node;
+
+    #[test]
+    fn qpi_aggregate_is_32_gbs() {
+        let n = maia_node();
+        assert!((n.qpi.per_link_bidir_gbs() - 32.0).abs() < 1e-9);
+        assert!((n.qpi.per_link_one_way_gbs() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_pcie_gen2_x16_link_bw() {
+        let n = maia_node();
+        // 5 GT/s × 16 lanes × 0.8 / 8 = 8 GB/s raw link bandwidth.
+        assert!((n.pcie_phi.link_bw_gbs() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_totals() {
+        let n = maia_node();
+        assert_eq!(n.host_cores(), 16);
+        assert_eq!(n.phi_cores(), 120);
+        assert!((n.host_peak_gflops() - 332.8).abs() < 1e-9);
+        assert!((n.phi_peak_gflops() - 2016.0).abs() < 1e-9);
+        assert_eq!(n.host_memory_bytes(), 32 * (1u64 << 30));
+        assert_eq!(n.phi_memory_bytes(), 16 * (1u64 << 30));
+    }
+}

@@ -1,0 +1,251 @@
+//! Calibrated presets for the hardware evaluated in the paper.
+//!
+//! Structural parameters (core counts, cache geometry, channel counts,
+//! clock rates) come from Table 1 of the paper and Intel datasheets.
+//! Sustained-rate calibrations (`*_bytes_per_cycle`, `per_core_*_gbs`,
+//! `stream_efficiency`) are fitted to the paper's microbenchmark plateaus
+//! (Figures 4–6); each is commented with the measurement it reproduces.
+
+use crate::cache::{CacheLevel, CacheSpec};
+use crate::core_spec::{CoreSpec, ExecutionStyle, ThreadingKind};
+use crate::memory::{MemoryKind, MemorySpec};
+use crate::node::{NodeSpec, PcieGen, PcieSpec, QpiSpec};
+use crate::processor::{ProcessorKind, ProcessorSpec};
+use crate::system::SystemSpec;
+
+/// Intel Xeon E5-2670 "Sandy Bridge": 8 cores at 2.6 GHz, AVX (256-bit),
+/// 20 MB shared L3, 4 × DDR3-1600 channels (51.2 GB/s peak per socket).
+pub fn xeon_e5_2670() -> ProcessorSpec {
+    ProcessorSpec {
+        kind: ProcessorKind::SandyBridge,
+        name: "Intel Xeon E5-2670",
+        cores: 8,
+        app_cores: 8,
+        core: CoreSpec {
+            freq_ghz: 2.6,
+            turbo_ghz: Some(3.2),
+            // 256-bit AVX: 4 DP adds + 4 DP muls per cycle.
+            flops_per_cycle: 8,
+            simd_bits: 256,
+            hw_threads: 2,
+            threading: ThreadingKind::HyperThreading,
+            execution: ExecutionStyle::OutOfOrder,
+            back_to_back_issue: true,
+        },
+        caches: vec![
+            CacheSpec {
+                level: CacheLevel::L1,
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                shared_by_cores: 1,
+                // 4 cycles / 2.6 GHz = 1.54 ns (paper measures 1.5 ns).
+                latency_cycles: 4,
+                // 12.6 GB/s read, 10.4 GB/s write at 2.6 GHz (Fig 6).
+                read_bytes_per_cycle: 12.6 / 2.6,
+                write_bytes_per_cycle: 10.4 / 2.6,
+            },
+            CacheSpec {
+                level: CacheLevel::L2,
+                size_bytes: 256 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                shared_by_cores: 1,
+                // 12 cycles / 2.6 GHz = 4.6 ns (paper: 4.6 ns).
+                latency_cycles: 12,
+                // 12.3 / 9.5 GB/s (Fig 6).
+                read_bytes_per_cycle: 12.3 / 2.6,
+                write_bytes_per_cycle: 9.5 / 2.6,
+            },
+            CacheSpec {
+                level: CacheLevel::L3,
+                size_bytes: 20 * 1024 * 1024,
+                line_bytes: 64,
+                associativity: 20,
+                shared_by_cores: 8,
+                // 39 cycles / 2.6 GHz = 15 ns (paper: 15 ns).
+                latency_cycles: 39,
+                // 11.6 / 8.6 GB/s (Fig 6).
+                read_bytes_per_cycle: 11.6 / 2.6,
+                write_bytes_per_cycle: 8.6 / 2.6,
+            },
+        ],
+        memory: MemorySpec {
+            kind: MemoryKind::Ddr3,
+            channels: 4,
+            rate_mts: 1600,
+            bytes_per_transfer: 8,
+            // 16 GB per socket; 32 GB per node across two sockets.
+            capacity_bytes: 16 * (1u64 << 30),
+            banks_per_device: 8,
+            devices: 8,
+            // Paper Fig 5: 81 ns main-memory latency.
+            idle_latency_ns: 81.0,
+            // Two sockets sustain ~77 GB/s of the 102.4 GB/s peak on
+            // STREAM triad (Fig 4's host plateau).
+            stream_efficiency: 0.75,
+            // Fig 6 main-memory plateaus: 7.5 GB/s read, 7.2 GB/s write.
+            per_core_read_gbs: 7.5,
+            per_core_write_gbs: 7.2,
+        },
+    }
+}
+
+/// Intel Xeon Phi 5110P "Knights Corner": 60 in-order cores at 1.05 GHz,
+/// 512-bit SIMD, 4 hardware threads/core, 8 GB GDDR5 behind 16 channels
+/// (320 GB/s peak), bi-directional ring interconnect.
+pub fn xeon_phi_5110p() -> ProcessorSpec {
+    ProcessorSpec {
+        kind: ProcessorKind::Mic,
+        name: "Intel Xeon Phi 5110P",
+        cores: 60,
+        // Core 60 runs the MPSS micro-OS services; the paper shows using
+        // it hurts (Fig 24), so application layouts use 59 cores.
+        app_cores: 59,
+        core: CoreSpec {
+            freq_ghz: 1.05,
+            turbo_ghz: None,
+            // 512-bit FMA: 8 DP lanes × 2 flops.
+            flops_per_cycle: 16,
+            simd_bits: 512,
+            hw_threads: 4,
+            threading: ThreadingKind::HardwareThreads,
+            execution: ExecutionStyle::InOrder,
+            back_to_back_issue: false,
+        },
+        caches: vec![
+            CacheSpec {
+                level: CacheLevel::L1,
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                shared_by_cores: 1,
+                // 3 cycles / 1.05 GHz = 2.86 ns (paper: 2.9 ns).
+                latency_cycles: 3,
+                // Fig 6: 1680 MB/s read, 1538 MB/s write per thread.
+                read_bytes_per_cycle: 1.680 / 1.05,
+                write_bytes_per_cycle: 1.538 / 1.05,
+            },
+            CacheSpec {
+                level: CacheLevel::L2,
+                size_bytes: 512 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+                shared_by_cores: 1,
+                // 24 cycles / 1.05 GHz = 22.9 ns (paper: 22.9 ns).
+                latency_cycles: 24,
+                // Fig 6: 971 MB/s read, 962 MB/s write.
+                read_bytes_per_cycle: 0.971 / 1.05,
+                write_bytes_per_cycle: 0.962 / 1.05,
+            },
+        ],
+        memory: MemorySpec {
+            kind: MemoryKind::Gddr5,
+            channels: 16,
+            rate_mts: 5000,
+            bytes_per_transfer: 4,
+            capacity_bytes: 8 * (1u64 << 30),
+            // 16 banks × 8 devices = 128 open pages, the cliff in Fig 4.
+            banks_per_device: 16,
+            devices: 8,
+            // Paper Fig 5: 295 ns (ring hop + GDDR5).
+            idle_latency_ns: 295.0,
+            // 180 GB/s sustained of 320 GB/s peak (Fig 4).
+            stream_efficiency: 0.5625,
+            // Fig 6 main-memory plateaus per thread: 504 / 263 MB/s.
+            per_core_read_gbs: 0.504,
+            per_core_write_gbs: 0.263,
+        },
+    }
+}
+
+/// One Maia node: two E5-2670 sockets joined by QPI, two Phi 5110P cards on
+/// separate 16-lane PCIe buses, and an FDR InfiniBand HCA sharing Phi0's
+/// bus.
+pub fn maia_node() -> NodeSpec {
+    NodeSpec {
+        host_sockets: 2,
+        host_processor: xeon_e5_2670(),
+        phi_cards: 2,
+        phi_processor: xeon_phi_5110p(),
+        qpi: QpiSpec {
+            links: 2,
+            rate_gts: 8.0,
+            bytes_per_transfer_per_dir: 2,
+        },
+        // The Phi's on-board PCIe interface is Gen2 ×16 — the bottleneck
+        // for all host↔Phi traffic even though the host has Gen3.
+        pcie_phi: PcieSpec {
+            gen: PcieGen::Gen2,
+            lanes: 16,
+        },
+        pcie_host: PcieSpec {
+            gen: PcieGen::Gen3,
+            lanes: 40,
+        },
+    }
+}
+
+/// The full 128-node Maia system with 4x FDR InfiniBand.
+pub fn maia_system() -> SystemSpec {
+    SystemSpec {
+        name: "Maia (SGI Rackable C1104G-RP5)",
+        nodes: 128,
+        node: maia_node(),
+        interconnect: "4x FDR InfiniBand",
+        interconnect_peak_gbs: 56.0 / 8.0 * 8.0, // 56 Gb/s links, hypercube
+        filesystem: "Lustre",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_peak_matches_table1() {
+        let p = xeon_e5_2670();
+        assert!((p.peak_gflops_per_core() - 20.8).abs() < 1e-9);
+        assert!((p.peak_gflops() - 166.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_peak_matches_table1() {
+        let p = xeon_phi_5110p();
+        assert!((p.peak_gflops_per_core() - 16.8).abs() < 1e-9);
+        assert!((p.peak_gflops() - 1008.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latencies_match_figure5() {
+        let host = xeon_e5_2670();
+        let f = host.core.freq_ghz;
+        let ns: Vec<f64> = host.caches.iter().map(|c| c.latency_ns(f)).collect();
+        assert!((ns[0] - 1.5).abs() < 0.1);
+        assert!((ns[1] - 4.6).abs() < 0.1);
+        assert!((ns[2] - 15.0).abs() < 0.1);
+        assert!((host.memory.idle_latency_ns - 81.0).abs() < 1e-9);
+
+        let phi = xeon_phi_5110p();
+        let f = phi.core.freq_ghz;
+        let ns: Vec<f64> = phi.caches.iter().map(|c| c.latency_ns(f)).collect();
+        assert!((ns[0] - 2.9).abs() < 0.1);
+        assert!((ns[1] - 22.9).abs() < 0.1);
+        assert!((phi.memory.idle_latency_ns - 295.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_sustained_stream_is_180_gbs() {
+        let p = xeon_phi_5110p();
+        assert!((p.memory.sustained_bw_gbs() - 180.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn node_and_system_validate() {
+        maia_node().validate();
+        let sys = maia_system();
+        sys.node.validate();
+        assert_eq!(sys.total_host_cores(), 2048);
+        assert_eq!(sys.total_phi_cores(), 15360);
+    }
+}

@@ -1,0 +1,80 @@
+//! System-level composition: the 128-node Maia cluster.
+
+use crate::node::NodeSpec;
+
+/// The full cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    pub name: &'static str,
+    pub nodes: u32,
+    pub node: NodeSpec,
+    /// Inter-node fabric description (informational).
+    pub interconnect: &'static str,
+    /// Peak inter-node network bandwidth in GB/s (the paper quotes
+    /// 56 GB/s for the 4x FDR hypercube).
+    pub interconnect_peak_gbs: f64,
+    pub filesystem: &'static str,
+}
+
+impl SystemSpec {
+    /// Total Sandy Bridge cores (2,048 on Maia).
+    pub fn total_host_cores(&self) -> u32 {
+        self.nodes * self.node.host_cores()
+    }
+
+    /// Total Phi cores (15,360 on Maia).
+    pub fn total_phi_cores(&self) -> u32 {
+        self.nodes * self.node.phi_cores()
+    }
+
+    /// Host partition peak, Tflop/s (42.6 on Maia).
+    pub fn host_peak_tflops(&self) -> f64 {
+        self.nodes as f64 * self.node.host_peak_gflops() / 1000.0
+    }
+
+    /// Phi partition peak, Tflop/s (258 on Maia).
+    pub fn phi_peak_tflops(&self) -> f64 {
+        self.nodes as f64 * self.node.phi_peak_gflops() / 1000.0
+    }
+
+    /// Whole-system peak, Tflop/s (301.4 on Maia).
+    pub fn total_peak_tflops(&self) -> f64 {
+        self.host_peak_tflops() + self.phi_peak_tflops()
+    }
+
+    /// Fraction of peak flops contributed by the Phi partition (86% on
+    /// Maia — the paper's "% Flops" row).
+    pub fn phi_flops_fraction(&self) -> f64 {
+        self.phi_peak_tflops() / self.total_peak_tflops()
+    }
+
+    /// Total memory in bytes (6 TB on Maia: 4 TB host + 2 TB Phi).
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.nodes as u64 * (self.node.host_memory_bytes() + self.node.phi_memory_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets::maia_system;
+
+    #[test]
+    fn system_peaks_match_paper_section2() {
+        let s = maia_system();
+        assert_eq!(s.total_host_cores(), 2048);
+        assert_eq!(s.total_phi_cores(), 15360);
+        assert!((s.host_peak_tflops() - 42.6).abs() < 0.1);
+        assert!((s.phi_peak_tflops() - 258.0).abs() < 0.5);
+        // The paper's prose quotes 301.4 total by adding "258.8" for the
+        // Phi partition, but 15,360 cores x 16.8 Gflop/s = 258.0 (as its
+        // own Table 1 also states); the computed total is 300.6.
+        assert!((s.total_peak_tflops() - 301.4).abs() < 1.0);
+        assert!((s.phi_flops_fraction() - 0.86).abs() < 0.01);
+    }
+
+    #[test]
+    fn total_memory_is_6_tb() {
+        let s = maia_system();
+        assert_eq!(s.total_memory_bytes(), 6 * (1u64 << 40));
+    }
+}

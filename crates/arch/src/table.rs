@@ -1,0 +1,158 @@
+//! Rendering of Table 1 ("Characteristics of Maia, SGI Rackable system")
+//! from the typed system description. Every numeric cell is computed from
+//! the spec, so the table doubles as a regression check on the presets.
+
+use crate::processor::ProcessorSpec;
+use crate::system::SystemSpec;
+
+fn gb(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Render the paper's Table 1 as aligned plain text.
+pub fn render_table1(sys: &SystemSpec) -> String {
+    let host = &sys.node.host_processor;
+    let phi = &sys.node.phi_processor;
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+
+    let mut row = |label: &str, h: String, p: String| {
+        rows.push((label.to_string(), h, p));
+    };
+
+    row("Processor type", host.name.into(), phi.name.into());
+    row(
+        "Number cores/processor",
+        host.cores.to_string(),
+        phi.cores.to_string(),
+    );
+    row(
+        "Base frequency (GHz)",
+        format!("{:.2}", host.core.freq_ghz),
+        format!("{:.2}", phi.core.freq_ghz),
+    );
+    row(
+        "Turbo frequency (GHz)",
+        host.core
+            .turbo_ghz
+            .map_or("NA".into(), |t| format!("{t:.2}")),
+        phi.core.turbo_ghz.map_or("NA".into(), |t| format!("{t:.2}")),
+    );
+    row(
+        "Floating points / clock",
+        host.core.flops_per_cycle.to_string(),
+        phi.core.flops_per_cycle.to_string(),
+    );
+    row(
+        "Perf. /core (Gflop/s)",
+        format!("{:.1}", host.peak_gflops_per_core()),
+        format!("{:.1}", phi.peak_gflops_per_core()),
+    );
+    row(
+        "Proc. perf. (Gflop/s)",
+        format!("{:.1}", host.peak_gflops()),
+        format!("{:.0}", phi.peak_gflops()),
+    );
+    row(
+        "SIMD vector width",
+        host.core.simd_bits.to_string(),
+        phi.core.simd_bits.to_string(),
+    );
+    row(
+        "Number of threads / core",
+        host.core.hw_threads.to_string(),
+        phi.core.hw_threads.to_string(),
+    );
+    for c in &host.caches {
+        let phi_cell = phi
+            .cache(c.level)
+            .map(|pc| format!("{} KB", pc.size_bytes / 1024))
+            .unwrap_or_else(|| "NA".into());
+        let host_cell = if c.size_bytes >= 1024 * 1024 {
+            format!("{} MB (shared)", c.size_bytes / 1024 / 1024)
+        } else {
+            format!("{} KB", c.size_bytes / 1024)
+        };
+        row(&format!("{} cache size", c.level.label()), host_cell, phi_cell);
+    }
+    row(
+        "Memory / node (GB)",
+        format!("{:.0}", gb(sys.node.host_memory_bytes())),
+        format!(
+            "{:.0} GB-{:.0} GB / Phi card",
+            gb(sys.node.phi_memory_bytes()),
+            gb(phi.memory.capacity_bytes)
+        ),
+    );
+    row(
+        "Peak memory BW (GB/s)",
+        format!("{:.1}", host.memory.peak_bw_gbs()),
+        format!("{:.0}", phi.memory.peak_bw_gbs()),
+    );
+    row(
+        "Total cores",
+        sys.total_host_cores().to_string(),
+        sys.total_phi_cores().to_string(),
+    );
+    row(
+        "Peak perf. (Tflop/s)",
+        format!("{:.1}", sys.host_peak_tflops()),
+        format!("{:.0}", sys.phi_peak_tflops()),
+    );
+    row(
+        "% Flops",
+        format!("{:.0}", 100.0 * (1.0 - sys.phi_flops_fraction())),
+        format!("{:.0}", 100.0 * sys.phi_flops_fraction()),
+    );
+
+    let w0 = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).max(12);
+    let w1 = rows.iter().map(|r| r.1.len()).max().unwrap_or(0).max(8);
+    let w2 = rows.iter().map(|r| r.2.len()).max().unwrap_or(0).max(8);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<w0$}  {:<w1$}  {:<w2$}\n",
+        "Characteristic", "Host", "Coprocessor"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(w0 + w1 + w2 + 4)));
+    for (a, b, c) in &rows {
+        out.push_str(&format!("{a:<w0$}  {b:<w1$}  {c:<w2$}\n"));
+    }
+    out
+}
+
+/// Convenience summary line for one processor.
+pub fn summarize(p: &ProcessorSpec) -> String {
+    format!(
+        "{}: {} cores @ {:.2} GHz, {}-bit SIMD, {:.1} Gflop/s peak, {:.1} GB/s memory",
+        p.name,
+        p.cores,
+        p.core.freq_ghz,
+        p.core.simd_bits,
+        p.peak_gflops(),
+        p.memory.peak_bw_gbs()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{maia_system, xeon_phi_5110p};
+
+    #[test]
+    fn table_contains_key_paper_values() {
+        let t = render_table1(&maia_system());
+        // Derived values that must match the paper's Table 1.
+        for needle in [
+            "20.8", "16.8", "166.4", "1008", "2048", "15360", "42.6", "258", "86",
+        ] {
+            assert!(t.contains(needle), "Table 1 missing `{needle}`:\n{t}");
+        }
+    }
+
+    #[test]
+    fn summary_line_is_informative() {
+        let s = summarize(&xeon_phi_5110p());
+        assert!(s.contains("60 cores"));
+        assert!(s.contains("512-bit"));
+    }
+}

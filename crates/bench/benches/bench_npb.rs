@@ -1,0 +1,53 @@
+//! Criterion bench: real NPB kernels at small classes on the build
+//! machine (functional counterparts of Figures 19/24).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npb");
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("ep-2^18", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::ep::run(18, t));
+        });
+        group.bench_with_input(BenchmarkId::new("mg-32^3", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::mg::run_custom(32, 2, t, false));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mg-32^3-collapsed", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| maia_npb::mg::run_custom(32, 2, t, true));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cg-1400", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::cg::run_custom(1400, 7, 3, 10.0, t));
+        });
+        group.bench_with_input(BenchmarkId::new("ft-32^3", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::ft::run_custom(32, 32, 32, 2, t));
+        });
+        group.bench_with_input(BenchmarkId::new("sp-12^3", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::sp::run_custom(12, 5, t));
+        });
+        group.bench_with_input(BenchmarkId::new("bt-12^3", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::bt::run_custom(12, 5, t));
+        });
+        group.bench_with_input(BenchmarkId::new("lu-12^3", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::lu::run_custom(12, 5, t));
+        });
+        group.bench_with_input(BenchmarkId::new("is-2^16", threads), &threads, |b, &t| {
+            b.iter(|| maia_npb::is::run(16, 11, t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench_kernels }
+criterion_main!(benches);

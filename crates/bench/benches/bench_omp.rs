@@ -1,0 +1,59 @@
+//! Criterion bench: construct overheads of the maia-omp runtime on the
+//! build machine (EPCC methodology; cf. Figures 15-16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maia_omp::{Schedule, Team};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+
+fn bench_constructs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omp");
+    for threads in [2usize, 4] {
+        let team = Team::new(threads);
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &team, |b, team| {
+            b.iter(|| team.parallel(|_ctx| {}));
+        });
+        group.bench_with_input(BenchmarkId::new("barrier", threads), &team, |b, team| {
+            b.iter(|| {
+                team.parallel(|ctx| {
+                    for _ in 0..8 {
+                        ctx.barrier();
+                    }
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("atomic", threads), &team, |b, team| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0f64.to_bits());
+                team.parallel(|_ctx| {
+                    for _ in 0..64 {
+                        maia_omp::atomic_add_f64(&acc, 1.0);
+                    }
+                });
+                f64::from_bits(acc.load(Ordering::SeqCst))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-for", threads),
+            &team,
+            |b, team| {
+                b.iter(|| {
+                    team.parallel_for(0..1024, Schedule::Dynamic { chunk: 8 }, |i| {
+                        std::hint::black_box(i);
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench_constructs }
+criterion_main!(benches);

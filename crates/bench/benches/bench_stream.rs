@@ -1,0 +1,35 @@
+//! Criterion bench: the real STREAM kernels on the build machine —
+//! the functional counterpart of the Figure 4 model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maia_mem::{StreamArrays, StreamKernel};
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+
+fn bench_stream(c: &mut Criterion) {
+    let n = 2_000_000usize;
+    let mut group = c.benchmark_group("stream");
+    for kernel in StreamKernel::ALL {
+        group.throughput(Throughput::Bytes(kernel.bytes_per_element() * n as u64));
+        for threads in [1usize, 2, 4] {
+            let mut arrays = StreamArrays::new(n);
+            group.bench_with_input(
+                BenchmarkId::new(kernel.label(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| arrays.run(kernel, t));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench_stream }
+criterion_main!(benches);

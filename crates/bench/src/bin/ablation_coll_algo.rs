@@ -1,0 +1,35 @@
+//! Ablation: collective algorithm selection (DESIGN.md item 2).
+//!
+//! Runs Allgather on 59 simulated Phi ranks with the algorithm forced to
+//! Bruck, forced to ring, and with the production size-based switch —
+//! showing the Figure 13 jump is exactly the cross-over of the two
+//! algorithms.
+
+use maia_arch::Device;
+use maia_mpi::{MpiWorld, WorldSpec};
+
+fn time(bytes: u64, mode: &'static str) -> f64 {
+    let spec = WorldSpec::all_on(Device::Phi0, 59);
+    MpiWorld::run(&spec, move |rank| match mode {
+        "bruck" => rank.allgather_bruck(bytes),
+        "ring" => rank.allgather_ring(bytes),
+        _ => rank.allgather(bytes),
+    })
+    .expect("allgather deadlocked")
+    .end_time
+    .as_secs_f64()
+}
+
+fn main() {
+    println!("size_bytes,bruck_us,ring_us,switched_us");
+    for bytes in [256u64, 1024, 2048, 4096, 8192, 32768, 131072] {
+        println!(
+            "{bytes},{:.1},{:.1},{:.1}",
+            time(bytes, "bruck") * 1e6,
+            time(bytes, "ring") * 1e6,
+            time(bytes, "switched") * 1e6
+        );
+    }
+    println!();
+    println!("# Bruck wins below the switch point, ring above; the switch tracks the winner.");
+}

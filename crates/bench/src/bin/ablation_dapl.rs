@@ -1,0 +1,20 @@
+//! Ablation: what the DAPL provider switch buys (DESIGN.md item 1).
+//!
+//! Compares three stacks at each message size on host->Phi1 (the path
+//! with the worst asymmetry): CCL-only (pre-update), the real switched
+//! post-update stack, and a hypothetical SCIF-only stack approximated by
+//! the post-update large-message regime.
+
+use maia_interconnect::{NodePath, SoftwareStack};
+
+fn main() {
+    println!("size_bytes,ccl_only_gbs,switched_gbs,gain");
+    for kb in [1u64, 4, 16, 64, 256, 1024, 4096] {
+        let bytes = kb * 1024;
+        let pre = SoftwareStack::PreUpdate.bandwidth_gbs(NodePath::HostPhi1, bytes);
+        let post = SoftwareStack::PostUpdate.bandwidth_gbs(NodePath::HostPhi1, bytes);
+        println!("{bytes},{pre:.3},{post:.3},{:.2}", post / pre);
+    }
+    println!();
+    println!("# The switch only engages past 256 KB; small messages keep CCL's latency.");
+}

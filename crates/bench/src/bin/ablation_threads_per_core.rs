@@ -1,0 +1,34 @@
+//! Ablation: hardware-thread oversubscription on the Phi (DESIGN.md
+//! item 3): modeled NPB rates at 1-4 threads/core per benchmark.
+
+use maia_modes::PerfModel;
+use maia_npb::{class_c_profile, Benchmark};
+
+fn main() {
+    let phi = PerfModel::phi();
+    println!("benchmark,phi59,phi118,phi177,phi236,best_tpc");
+    for b in Benchmark::FIGURE19 {
+        let k = class_c_profile(b);
+        let rates: Vec<f64> = [59u32, 118, 177, 236]
+            .iter()
+            .map(|&t| phi.gflops(&k, t))
+            .collect();
+        let best = rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        println!(
+            "{},{:.1},{:.1},{:.1},{:.1},{}",
+            b.label(),
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3],
+            best
+        );
+    }
+    println!();
+    println!("# 3 threads/core is the usual sweet spot (paper Section 6.8.1).");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's F22OverflowNative artifact. Pass `--csv` for CSV.
+
+fn main() {
+    maia_bench::emit(maia_core::ExperimentId::F22OverflowNative);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the beyond-paper A2OverflowHybrid validation artifact.
+
+fn main() {
+    maia_bench::emit(maia_core::ExperimentId::A2OverflowHybrid);
+}

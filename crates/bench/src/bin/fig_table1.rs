@@ -1,0 +1,5 @@
+//! Regenerates the paper's T1Table artifact. Pass `--csv` for CSV.
+
+fn main() {
+    maia_bench::emit(maia_core::ExperimentId::T1Table);
+}

@@ -1,0 +1,13 @@
+//! Writes the full EXPERIMENTS.md (paper vs. reproduction) to the path
+//! given as the first argument, or to stdout.
+
+fn main() {
+    let md = maia_bench::render_experiments_md();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, md).expect("failed to write report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+}

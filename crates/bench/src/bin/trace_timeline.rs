@@ -1,0 +1,57 @@
+//! Prints a per-rank activity summary of one simulated collective from
+//! the engine's scheduler trace — a text "timeline" for inspecting how
+//! virtual time is spent on the fabric.
+//!
+//! ```text
+//! cargo run -p maia-bench --bin trace_timeline -- [ranks] [bytes]
+//! ```
+
+use maia_arch::Device;
+use maia_mpi::{MpiWorld, WorldSpec};
+use maia_sim::TraceKind;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let bytes: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(64 * 1024);
+
+    let spec = WorldSpec::all_on(Device::Phi0, ranks);
+    let (res, trace) = MpiWorld::run_traced(&spec, move |rank| {
+        rank.allreduce(bytes);
+    })
+    .expect("allreduce deadlocked");
+
+    println!(
+        "allreduce of {bytes} B on {ranks} Phi ranks: {:.1} us total, {} scheduler events\n",
+        res.end_time.as_us(),
+        trace.len()
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>8} {:>12}",
+        "rank", "resumes", "advances", "blocks", "finish (us)"
+    );
+    for r in 0..ranks {
+        let count = |kind: TraceKind| {
+            trace
+                .iter()
+                .filter(|t| t.pid.index() == r && t.kind == kind)
+                .count()
+        };
+        println!(
+            "rank-{:<3} {:>8} {:>9} {:>8} {:>12.2}",
+            r,
+            count(TraceKind::Resumed),
+            count(TraceKind::Advanced),
+            count(TraceKind::Blocked),
+            res.rank_finish_s[r] * 1e6,
+        );
+    }
+    println!(
+        "\nfirst events: {:?}",
+        trace
+            .iter()
+            .take(6)
+            .map(|t| (t.at_ps, t.pid.index(), t.kind))
+            .collect::<Vec<_>>()
+    );
+}

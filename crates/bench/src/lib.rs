@@ -1,0 +1,53 @@
+//! # maia-bench — figure regeneration binaries and Criterion benches
+//!
+//! Every table/figure of the paper has a `fig_*` binary that prints the
+//! regenerated data (CSV to stdout with `--csv`, Markdown otherwise), all
+//! driven by `maia-core`'s experiment registry. The `report` binary
+//! writes the complete EXPERIMENTS.md. Criterion benches measure the
+//! *real* kernels (STREAM, EPCC constructs, NPB classes) on the build
+//! machine, and the `ablation_*` binaries quantify the design choices
+//! called out in DESIGN.md.
+
+use maia_core::{run_experiment, ExperimentId};
+
+/// Print one experiment to stdout in the format selected by argv.
+pub fn emit(id: ExperimentId) {
+    let data = run_experiment(id);
+    let csv = std::env::args().any(|a| a == "--csv");
+    if csv {
+        print!("{}", data.to_csv());
+    } else {
+        print!("{}", data.to_markdown());
+    }
+}
+
+/// Render EXPERIMENTS.md: every experiment plus the paper's claims.
+pub fn render_experiments_md() -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper vs. reproduction\n\n");
+    out.push_str(
+        "Regenerate any artifact with `cargo run -p maia-bench --bin fig_<id>` \
+         (e.g. `fig_04`), or everything with `--bin report`.\n\n",
+    );
+    for id in maia_core::all_experiments() {
+        let data = run_experiment(id);
+        out.push_str(&data.to_markdown());
+        out.push_str("\n**Paper reports:**\n\n");
+        for c in maia_core::paper::paper_claims(id) {
+            out.push_str(&format!("- {}\n", c.claim));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders_every_figure() {
+        let md = super::render_experiments_md();
+        for id in ["T1", "F4", "F14", "F19", "F27"] {
+            assert!(md.contains(&format!("## {id} ")), "missing {id}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Intra-device MPI collective experiments: Figures 10–14. Every data
+//! point runs the real collective algorithm on the discrete-event engine.
+
+use maia_arch::Device;
+use maia_mpi::bench::{alltoall_time, collective_time, ring_sendrecv, CollectiveOp};
+
+use crate::figdata::{fmt_bytes, FigureData};
+
+/// The three configurations the paper compares.
+const CONFIGS: [(&str, Device, usize); 3] = [
+    ("host-16", Device::Host, 16),
+    ("phi-59 (1t/c)", Device::Phi0, 59),
+    ("phi-236 (4t/c)", Device::Phi0, 236),
+];
+
+const SIZES: [u64; 3] = [64, 4 * 1024, 256 * 1024];
+
+/// Figure 10: ring Send/Recv per-pair bandwidth.
+pub fn fig10_sendrecv() -> FigureData {
+    let mut f = FigureData::new(
+        "F10",
+        "MPI_Send/Recv ring: per-pair bandwidth (MB/s)",
+        &["config", "size", "MB/s"],
+    );
+    for (label, dev, ranks) in CONFIGS {
+        for &size in &SIZES {
+            let p = ring_sendrecv(dev, ranks, size);
+            f.push_row(vec![
+                label.into(),
+                fmt_bytes(size),
+                format!("{:.1}", p.bandwidth_gbs * 1000.0),
+            ]);
+        }
+    }
+    f.note("Paper: host above Phi 1t/c by 1.3-3.5x and above Phi 4t/c by 24-54x.");
+    f
+}
+
+fn collective_fig(
+    id: &'static str,
+    title: &str,
+    op: CollectiveOp,
+    factor_note: &str,
+) -> FigureData {
+    let mut f = FigureData::new(id, title, &["config", "size", "time us"]);
+    for (label, dev, ranks) in CONFIGS {
+        for &size in &SIZES {
+            let t = collective_time(dev, ranks, size, op);
+            f.push_row(vec![label.into(), fmt_bytes(size), format!("{:.1}", t * 1e6)]);
+        }
+    }
+    f.note(factor_note);
+    f
+}
+
+/// Figure 11.
+pub fn fig11_bcast() -> FigureData {
+    collective_fig(
+        "F11",
+        "MPI_Bcast completion time",
+        CollectiveOp::Bcast,
+        "Paper: host above Phi 1t/c by 1.1-3.8x; per-core above Phi 4t/c by 20-35x.",
+    )
+}
+
+/// Figure 12.
+pub fn fig12_allreduce() -> FigureData {
+    collective_fig(
+        "F12",
+        "MPI_Allreduce completion time",
+        CollectiveOp::Allreduce,
+        "Paper: host above Phi 1t/c by 2.2-13.4x and above Phi 4t/c by 28-104x.",
+    )
+}
+
+/// Figure 13.
+pub fn fig13_allgather() -> FigureData {
+    let mut f = FigureData::new(
+        "F13",
+        "MPI_Allgather completion time",
+        &["config", "size", "time us"],
+    );
+    // Extra sizes to expose the Bruck->ring switch at 2-4 KB.
+    let sizes = [64u64, 1024, 2 * 1024, 4 * 1024, 8 * 1024, 64 * 1024];
+    for (label, dev, ranks) in CONFIGS {
+        for &size in &sizes {
+            let t = collective_time(dev, ranks, size, CollectiveOp::Allgather);
+            f.push_row(vec![label.into(), fmt_bytes(size), format!("{:.1}", t * 1e6)]);
+        }
+    }
+    f.note("Paper: abrupt jump at 2-4 KB from the collective-algorithm switch; host above Phi by 2.6-17.1x (1t/c) and 68-1146x (4t/c).");
+    f
+}
+
+/// Figure 14 (with the 236-rank OOM gate).
+pub fn fig14_alltoall() -> FigureData {
+    let mut f = FigureData::new(
+        "F14",
+        "MPI_Alltoall completion time",
+        &["config", "size", "time us"],
+    );
+    let sizes = [64u64, 1024, 4 * 1024, 8 * 1024, 64 * 1024];
+    for (label, dev, ranks) in CONFIGS {
+        for &size in &sizes {
+            let cell = match alltoall_time(dev, ranks, size) {
+                Ok(t) => format!("{:.1}", t * 1e6),
+                Err(e) => format!("OOM ({:.1} GB needed)", e.required_bytes as f64 / 1e9),
+            };
+            f.push_row(vec![label.into(), fmt_bytes(size), cell]);
+        }
+    }
+    f.note("Paper: the 236-rank runs fail beyond 4 KB for lack of memory; host above Phi by 8-20x (1t/c) and 1003-2603x (4t/c).");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_shows_the_jump() {
+        let f = fig13_allgather();
+        let t = |cfg: &str, size: &str| {
+            f.rows
+                .iter()
+                .find(|r| r[0] == cfg && r[1] == size)
+                .unwrap()[2]
+                .parse::<f64>()
+                .unwrap()
+        };
+        let jump = t("phi-59 (1t/c)", "4KiB") / t("phi-59 (1t/c)", "2KiB");
+        let smooth = t("phi-59 (1t/c)", "8KiB") / t("phi-59 (1t/c)", "4KiB");
+        assert!(jump > smooth + 0.3, "jump {jump} vs smooth {smooth}");
+    }
+
+    #[test]
+    fn fig14_marks_oom() {
+        let f = fig14_alltoall();
+        let oom_rows: Vec<_> = f
+            .rows
+            .iter()
+            .filter(|r| r[2].starts_with("OOM"))
+            .collect();
+        assert!(!oom_rows.is_empty());
+        for r in &oom_rows {
+            assert_eq!(r[0], "phi-236 (4t/c)");
+        }
+        // 4 KiB at 236 ranks still runs.
+        assert!(f
+            .rows
+            .iter()
+            .any(|r| r[0] == "phi-236 (4t/c)" && r[1] == "4KiB" && !r[2].starts_with("OOM")));
+    }
+}

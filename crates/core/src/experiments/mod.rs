@@ -1,0 +1,138 @@
+//! The experiment registry: one entry per table/figure of the paper.
+
+mod app_figs;
+mod coll;
+mod micro;
+mod npb_figs;
+mod pcie;
+
+use crate::figdata::FigureData;
+
+/// Every artifact of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table 1: system characteristics.
+    T1Table,
+    /// Figure 4: STREAM triad bandwidth vs threads.
+    F4Stream,
+    /// Figure 5: memory load latency vs working set.
+    F5Latency,
+    /// Figure 6: per-core read/write bandwidth vs working set.
+    F6Bandwidth,
+    /// Figure 7: MPI latency over PCIe (pre/post update).
+    F7PcieLatency,
+    /// Figure 8: MPI bandwidth over PCIe (pre/post update).
+    F8PcieBandwidth,
+    /// Figure 9: post/pre bandwidth gain.
+    F9UpdateGain,
+    /// Figure 10: MPI_Send/Recv ring.
+    F10SendRecv,
+    /// Figure 11: MPI_Bcast.
+    F11Bcast,
+    /// Figure 12: MPI_Allreduce.
+    F12Allreduce,
+    /// Figure 13: MPI_Allgather.
+    F13Allgather,
+    /// Figure 14: MPI_Alltoall (with OOM gating).
+    F14Alltoall,
+    /// Figure 15: OpenMP synchronization overheads.
+    F15OmpSync,
+    /// Figure 16: OpenMP scheduling overheads.
+    F16OmpSched,
+    /// Figure 17: sequential I/O bandwidth.
+    F17Io,
+    /// Figure 18: offload PCIe bandwidth.
+    F18OffloadBw,
+    /// Figure 19: NPB OpenMP performance.
+    F19NpbOmp,
+    /// Figure 20: NPB MPI performance.
+    F20NpbMpi,
+    /// Figure 21: Cart3D native host vs Phi.
+    F21Cart3d,
+    /// Figure 22: OVERFLOW native (I × J) sweep.
+    F22OverflowNative,
+    /// Figure 23: OVERFLOW symmetric mode pre/post update.
+    F23OverflowSymmetric,
+    /// Figure 24: MG loop-collapse gain.
+    F24MgCollapse,
+    /// Figure 25: MG in native and offload modes.
+    F25MgModes,
+    /// Figure 26: offload overhead breakdown.
+    F26OffloadOverhead,
+    /// Figure 27: offload invocations and transfer volume.
+    F27OffloadCost,
+    /// Beyond-paper validation: distributed NPB kernels (real numerics)
+    /// measured on the simulated fabric.
+    A1NpbMpiMeasured,
+    /// Beyond-paper validation: hybrid OVERFLOW zones over the simulated
+    /// fabric with communication/compute accounting.
+    A2OverflowHybrid,
+}
+
+/// All experiments in paper order.
+pub fn all_experiments() -> Vec<ExperimentId> {
+    use ExperimentId::*;
+    vec![
+        T1Table,
+        F4Stream,
+        F5Latency,
+        F6Bandwidth,
+        F7PcieLatency,
+        F8PcieBandwidth,
+        F9UpdateGain,
+        F10SendRecv,
+        F11Bcast,
+        F12Allreduce,
+        F13Allgather,
+        F14Alltoall,
+        F15OmpSync,
+        F16OmpSched,
+        F17Io,
+        F18OffloadBw,
+        F19NpbOmp,
+        F20NpbMpi,
+        F21Cart3d,
+        F22OverflowNative,
+        F23OverflowSymmetric,
+        F24MgCollapse,
+        F25MgModes,
+        F26OffloadOverhead,
+        F27OffloadCost,
+        A1NpbMpiMeasured,
+        A2OverflowHybrid,
+    ]
+}
+
+/// Regenerate the data for one experiment.
+pub fn run_experiment(id: ExperimentId) -> FigureData {
+    use ExperimentId::*;
+    match id {
+        T1Table => micro::table1(),
+        F4Stream => micro::fig4_stream(),
+        F5Latency => micro::fig5_latency(),
+        F6Bandwidth => micro::fig6_bandwidth(),
+        F7PcieLatency => pcie::fig7_latency(),
+        F8PcieBandwidth => pcie::fig8_bandwidth(),
+        F9UpdateGain => pcie::fig9_gain(),
+        F10SendRecv => coll::fig10_sendrecv(),
+        F11Bcast => coll::fig11_bcast(),
+        F12Allreduce => coll::fig12_allreduce(),
+        F13Allgather => coll::fig13_allgather(),
+        F14Alltoall => coll::fig14_alltoall(),
+        F15OmpSync => micro::fig15_omp_sync(),
+        F16OmpSched => micro::fig16_omp_sched(),
+        F17Io => micro::fig17_io(),
+        F18OffloadBw => pcie::fig18_offload_bw(),
+        F19NpbOmp => npb_figs::fig19_npb_omp(),
+        F20NpbMpi => npb_figs::fig20_npb_mpi(),
+        F21Cart3d => app_figs::fig21_cart3d(),
+        F22OverflowNative => app_figs::fig22_overflow_native(),
+        F23OverflowSymmetric => app_figs::fig23_overflow_symmetric(),
+        F24MgCollapse => npb_figs::fig24_mg_collapse(),
+        F25MgModes => npb_figs::fig25_mg_modes(),
+        F26OffloadOverhead => npb_figs::fig26_offload_overhead(),
+        F27OffloadCost => npb_figs::fig27_offload_cost(),
+        A1NpbMpiMeasured => npb_figs::a1_npb_mpi_measured(),
+        A2OverflowHybrid => app_figs::a2_overflow_hybrid(),
+    }
+}

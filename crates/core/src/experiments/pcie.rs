@@ -1,0 +1,149 @@
+//! PCIe experiments: Figures 7–9 (MPI over PCIe under the two software
+//! stacks) and 18 (offload DMA bandwidth).
+
+use maia_arch::Device;
+use maia_interconnect::{NodePath, PcieModel, SoftwareStack};
+use maia_mpi::bench::{pcie_bandwidth, pcie_latency_us, update_gain};
+
+use crate::figdata::{fmt_bytes, FigureData};
+
+const SIZES: [u64; 7] = [
+    1024,
+    8 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    16 * 1024 * 1024,
+];
+
+/// Figure 7: zero-byte MPI latency per path and stack.
+pub fn fig7_latency() -> FigureData {
+    let mut f = FigureData::new(
+        "F7",
+        "MPI latency over PCIe (us)",
+        &["path", "pre-update", "post-update"],
+    );
+    for path in NodePath::ALL {
+        f.push_row(vec![
+            path.label().into(),
+            format!("{:.1}", pcie_latency_us(SoftwareStack::PreUpdate, path)),
+            format!("{:.1}", pcie_latency_us(SoftwareStack::PostUpdate, path)),
+        ]);
+    }
+    f.note("Paper: pre 3.3/4.6/6.3 us; post 3.3/4.1/6.6 us.");
+    f
+}
+
+/// Figure 8: MPI bandwidth per message size, path and stack.
+pub fn fig8_bandwidth() -> FigureData {
+    let mut f = FigureData::new(
+        "F8",
+        "MPI bandwidth over PCIe (GB/s)",
+        &["path", "size", "pre GB/s", "post GB/s"],
+    );
+    for path in NodePath::ALL {
+        for &size in &SIZES {
+            f.push_row(vec![
+                path.label().into(),
+                fmt_bytes(size),
+                format!(
+                    "{:.3}",
+                    pcie_bandwidth(SoftwareStack::PreUpdate, path, size).bandwidth_gbs
+                ),
+                format!(
+                    "{:.3}",
+                    pcie_bandwidth(SoftwareStack::PostUpdate, path, size).bandwidth_gbs
+                ),
+            ]);
+        }
+    }
+    f.note("Paper at 4 MB: pre 1.6 / 0.455 / 0.444 GB/s; post 6 / 6 / 0.899 GB/s.");
+    f
+}
+
+/// Figure 9: post/pre bandwidth gain ratio.
+pub fn fig9_gain() -> FigureData {
+    let mut f = FigureData::new(
+        "F9",
+        "Post-update / pre-update bandwidth gain",
+        &["path", "size", "gain"],
+    );
+    for path in NodePath::ALL {
+        for &size in &SIZES {
+            f.push_row(vec![
+                path.label().into(),
+                fmt_bytes(size),
+                format!("{:.2}", update_gain(path, size)),
+            ]);
+        }
+    }
+    f.note("Paper: >=256 KB gains 2-3.8x (host-phi0), 7-13x (host-phi1), ~2x (phi0-phi1); smaller messages 1-1.5x.");
+    f
+}
+
+/// Figure 18: offload DMA bandwidth over PCIe.
+pub fn fig18_offload_bw() -> FigureData {
+    let model = PcieModel::default();
+    let mut f = FigureData::new(
+        "F18",
+        "Offload-mode PCIe bandwidth (GB/s)",
+        &["size", "phi0 GB/s", "phi1 GB/s"],
+    );
+    let mut size = 4 * 1024u64;
+    while size <= 256 * 1024 * 1024 {
+        f.push_row(vec![
+            fmt_bytes(size),
+            format!("{:.2}", model.dma_bandwidth_gbs(Device::Phi0, size)),
+            format!("{:.2}", model.dma_bandwidth_gbs(Device::Phi1, size)),
+        ]);
+        if size == 32 * 1024 {
+            // Include the dip point the paper highlights.
+            size = 64 * 1024;
+        } else {
+            size *= 4;
+        }
+    }
+    f.note("Paper: ~6.4 GB/s plateau; Phi0 ~3% above Phi1; unexplained dip at 64 KB (modeled as a buffer-scheme switch).");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_rows_match_paper_to_tenths() {
+        let f = fig7_latency();
+        let row = |p: &str| f.rows.iter().find(|r| r[0] == p).unwrap().clone();
+        assert_eq!(row("host-phi0")[1], "3.3");
+        assert_eq!(row("host-phi1")[2], "4.1");
+        assert_eq!(row("phi0-phi1")[1], "6.3");
+    }
+
+    #[test]
+    fn fig8_4mb_post_values() {
+        let f = fig8_bandwidth();
+        let v = |path: &str| {
+            f.rows
+                .iter()
+                .find(|r| r[0] == path && r[1] == "4MiB")
+                .unwrap()[3]
+                .parse::<f64>()
+                .unwrap()
+        };
+        assert!((v("host-phi0") - 6.0).abs() < 0.3);
+        assert!((v("phi0-phi1") - 0.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig18_has_dip_row() {
+        let f = fig18_offload_bw();
+        assert!(f.rows.iter().any(|r| r[0] == "64KiB"));
+        // Plateau near 6.4 with phi1 lower.
+        let last = f.rows.last().unwrap();
+        let p0: f64 = last[1].parse().unwrap();
+        let p1: f64 = last[2].parse().unwrap();
+        assert!((p0 - 6.4).abs() < 0.1 && p1 < p0);
+    }
+}

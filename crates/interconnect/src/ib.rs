@@ -1,0 +1,75 @@
+//! Fourteen-data-rate (FDR) InfiniBand inter-node link.
+//!
+//! Used by the symmetric-mode OVERFLOW experiment's two-host baseline
+//! (Figure 23 discussion): host1↔host2 traffic crosses the FDR fabric.
+
+/// One 4x FDR InfiniBand port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IbLink {
+    /// Signaling rate per lane in Gb/s (14.0625 for FDR).
+    pub lane_gbps: f64,
+    /// Lanes (4x).
+    pub lanes: u32,
+    /// Line-coding efficiency (64b/66b for FDR).
+    pub encoding: f64,
+    /// Small-message MPI latency in microseconds (switch + HCA + stack).
+    pub latency_us: f64,
+}
+
+impl Default for IbLink {
+    fn default() -> Self {
+        IbLink {
+            lane_gbps: 14.0625,
+            lanes: 4,
+            encoding: 64.0 / 66.0,
+            latency_us: 1.1,
+        }
+    }
+}
+
+impl IbLink {
+    /// Usable one-way bandwidth in GB/s (~6.8 GB/s for 4x FDR; the paper's
+    /// "56 GB/s peak network performance" counts Gb/s across the fabric).
+    pub fn bandwidth_gbs(&self) -> f64 {
+        self.lane_gbps * self.lanes as f64 * self.encoding / 8.0
+    }
+
+    /// One-way time in seconds for an MPI message of `bytes`, with the
+    /// standard eager/rendezvous split at 8 KB.
+    pub fn message_time_s(&self, bytes: u64) -> f64 {
+        let lat = self.latency_us * 1e-6;
+        let handshake = if bytes > 8 * 1024 { 2.0 * lat } else { 0.0 };
+        lat + handshake + bytes as f64 / (self.bandwidth_gbs() * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdr_bandwidth_is_about_6_8_gbs() {
+        let l = IbLink::default();
+        assert!((l.bandwidth_gbs() - 6.82).abs() < 0.05);
+    }
+
+    #[test]
+    fn message_time_scales() {
+        let l = IbLink::default();
+        let t_small = l.message_time_s(64);
+        let t_big = l.message_time_s(4 * 1024 * 1024);
+        assert!(t_small < 2e-6);
+        assert!(t_big > 500e-6 && t_big < 700e-6);
+    }
+
+    #[test]
+    fn ib_beats_scif_p2p_but_not_scif_host_phi() {
+        use crate::dapl::{Provider, SoftwareStack};
+        use crate::paths::NodePath;
+        let ib = IbLink::default().bandwidth_gbs();
+        // Inter-node IB is much faster than Phi0↔Phi1 over PCIe...
+        assert!(ib > SoftwareStack::provider_bw_gbs(Provider::Scif, NodePath::Phi0Phi1) * 5.0);
+        // ...and comparable to host↔Phi over SCIF.
+        assert!(ib > SoftwareStack::provider_bw_gbs(Provider::Scif, NodePath::HostPhi0));
+    }
+}

@@ -1,0 +1,95 @@
+//! The three on-node communication paths measured by the paper.
+
+use maia_arch::Device;
+use std::fmt;
+
+/// A directed-agnostic path between two devices of one Maia node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodePath {
+    /// Host ↔ Phi0: one PCIe hop on the first bus.
+    HostPhi0,
+    /// Host ↔ Phi1: a PCIe hop on the second bus; when the MPI process runs
+    /// on socket 0 the transaction also crosses the inter-socket QPI, which
+    /// the paper observes as higher latency and (pre-update) much lower
+    /// peer-read bandwidth.
+    HostPhi1,
+    /// Phi0 ↔ Phi1: PCIe peer-to-peer through the host root complex — two
+    /// PCIe hops.
+    Phi0Phi1,
+}
+
+impl NodePath {
+    /// All paths, in the order the paper's figures list them.
+    pub const ALL: [NodePath; 3] = [NodePath::HostPhi0, NodePath::HostPhi1, NodePath::Phi0Phi1];
+
+    /// The path connecting two distinct devices.
+    ///
+    /// # Panics
+    /// Panics if `a == b` — there is no PCIe path from a device to itself.
+    pub fn between(a: Device, b: Device) -> NodePath {
+        match (a.min(b), a.max(b)) {
+            (Device::Host, Device::Phi0) => NodePath::HostPhi0,
+            (Device::Host, Device::Phi1) => NodePath::HostPhi1,
+            (Device::Phi0, Device::Phi1) => NodePath::Phi0Phi1,
+            _ => panic!("no node path between {a} and {b}"),
+        }
+    }
+
+    /// Number of PCIe link traversals.
+    pub fn pcie_hops(self) -> u32 {
+        match self {
+            NodePath::HostPhi0 | NodePath::HostPhi1 => 1,
+            NodePath::Phi0Phi1 => 2,
+        }
+    }
+
+    /// Whether the path crosses the inter-socket QPI.
+    pub fn crosses_qpi(self) -> bool {
+        matches!(self, NodePath::HostPhi1)
+    }
+
+    /// Report label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodePath::HostPhi0 => "host-phi0",
+            NodePath::HostPhi1 => "host-phi1",
+            NodePath::Phi0Phi1 => "phi0-phi1",
+        }
+    }
+}
+
+impl fmt::Display for NodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_is_symmetric() {
+        for (a, b) in [
+            (Device::Host, Device::Phi0),
+            (Device::Host, Device::Phi1),
+            (Device::Phi0, Device::Phi1),
+        ] {
+            assert_eq!(NodePath::between(a, b), NodePath::between(b, a));
+        }
+    }
+
+    #[test]
+    fn hop_counts() {
+        assert_eq!(NodePath::HostPhi0.pcie_hops(), 1);
+        assert_eq!(NodePath::Phi0Phi1.pcie_hops(), 2);
+        assert!(NodePath::HostPhi1.crosses_qpi());
+        assert!(!NodePath::HostPhi0.crosses_qpi());
+    }
+
+    #[test]
+    #[should_panic(expected = "no node path")]
+    fn self_path_rejected() {
+        let _ = NodePath::between(Device::Host, Device::Host);
+    }
+}

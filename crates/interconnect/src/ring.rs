@@ -1,0 +1,80 @@
+//! The Phi's on-die bidirectional ring interconnect.
+//!
+//! All 60 cores, the 8 memory controllers, and the tag directories hang
+//! off one bidirectional ring. A remote-L2 or memory transaction travels
+//! on average a quarter of the ring in the shorter direction. The ring's
+//! hop latency feeds the Phi's memory latency (295 ns total includes the
+//! ring transit) and the intra-Phi MPI/OpenMP synchronization costs, which
+//! grow with the number of participating cores.
+
+/// Ring geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingSpec {
+    /// Ring stops (cores + memory controllers + TD stations).
+    pub stops: u32,
+    /// Cycles for one hop between adjacent stops.
+    pub hop_cycles: u32,
+    /// Ring clock in GHz (runs at core clock on KNC).
+    pub clock_ghz: f64,
+}
+
+impl Default for RingSpec {
+    fn default() -> Self {
+        // 60 cores + 8 memory controllers interleaved; TDs share stops.
+        RingSpec {
+            stops: 68,
+            hop_cycles: 2,
+            clock_ghz: 1.05,
+        }
+    }
+}
+
+impl RingSpec {
+    /// Average hops for a uniformly random destination on a bidirectional
+    /// ring: stops/4.
+    pub fn average_hops(&self) -> f64 {
+        self.stops as f64 / 4.0
+    }
+
+    /// Average one-way transit latency in nanoseconds.
+    pub fn average_transit_ns(&self) -> f64 {
+        self.average_hops() * self.hop_cycles as f64 / self.clock_ghz
+    }
+
+    /// Worst-case (diametrically opposite) transit latency in ns.
+    pub fn worst_transit_ns(&self) -> f64 {
+        (self.stops as f64 / 2.0) * self.hop_cycles as f64 / self.clock_ghz
+    }
+
+    /// Latency in ns for a coherence round trip touching `participants`
+    /// cores (e.g. a barrier or a tag-directory walk): scales with ring
+    /// occupancy because each additional participant adds traffic that
+    /// serializes at the stops.
+    pub fn coherence_round_ns(&self, participants: u32) -> f64 {
+        assert!(participants >= 1);
+        // Request + response transit, plus per-participant queuing.
+        2.0 * self.average_transit_ns()
+            + participants as f64 * self.hop_cycles as f64 / self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_transit_is_tens_of_ns() {
+        let r = RingSpec::default();
+        // 17 hops x 2 cycles / 1.05 GHz ≈ 32 ns — a substantial share of
+        // the Phi's 295 ns memory latency vs the host's 81 ns.
+        assert!((r.average_transit_ns() - 32.4).abs() < 0.5);
+        assert!(r.worst_transit_ns() > r.average_transit_ns());
+    }
+
+    #[test]
+    fn coherence_cost_grows_with_participants() {
+        let r = RingSpec::default();
+        assert!(r.coherence_round_ns(59) > r.coherence_round_ns(16));
+        assert!(r.coherence_round_ns(1) > 2.0 * r.average_transit_ns() - 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! # maia-iosim — sequential I/O path model (paper Figure 17)
+//!
+//! The paper measures single-process sequential read/write bandwidth on an
+//! NFS filesystem mounted on the host and re-exported to the Phi cards.
+//! The Phi reaches it through MPSS's *virtualized TCP/IP stack over PCIe*,
+//! which caps its I/O at a fraction of the host's (write 210 → 80 MB/s,
+//! read 295 → 75 MB/s — 2.6× and 3.9× slower).
+//!
+//! The model composes an I/O path from pipeline segments, each with a
+//! per-operation latency and a streaming bandwidth; sequential bandwidth
+//! at a block size is `block / Σ(latᵢ + block/bwᵢ)`. The Phi path is the
+//! host path plus the virtual-network segment — exactly the mechanism the
+//! paper identifies. A third path models the paper's recommended
+//! workaround: proxy the data to the host over SCIF (6 GB/s) and do the
+//! I/O there.
+
+use maia_arch::Device;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    Read,
+    Write,
+}
+
+/// One stage of an I/O path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoSegment {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Per-operation latency, microseconds.
+    pub latency_us: f64,
+    /// Streaming bandwidth, MB/s.
+    pub bandwidth_mbs: f64,
+}
+
+/// A composed I/O path.
+#[derive(Debug, Clone)]
+pub struct IoPath {
+    pub name: &'static str,
+    pub segments: Vec<IoSegment>,
+}
+
+/// The NFS server as seen from the host mount.
+fn nfs_segment(op: IoOp) -> IoSegment {
+    match op {
+        // Calibrated to Figure 17's host plateaus.
+        IoOp::Read => IoSegment {
+            name: "nfs",
+            latency_us: 300.0,
+            bandwidth_mbs: 295.0,
+        },
+        IoOp::Write => IoSegment {
+            name: "nfs",
+            latency_us: 400.0,
+            bandwidth_mbs: 210.0,
+        },
+    }
+}
+
+/// The MPSS virtualized TCP/IP-over-PCIe network segment.
+fn virtio_segment(op: IoOp) -> IoSegment {
+    match op {
+        IoOp::Read => IoSegment {
+            name: "tcpip-over-pcie",
+            latency_us: 250.0,
+            bandwidth_mbs: 100.0,
+        },
+        IoOp::Write => IoSegment {
+            name: "tcpip-over-pcie",
+            latency_us: 250.0,
+            bandwidth_mbs: 140.0,
+        },
+    }
+}
+
+/// The SCIF staging segment used by the MPI-proxy workaround.
+fn scif_segment() -> IoSegment {
+    IoSegment {
+        name: "scif-dma",
+        latency_us: 10.0,
+        bandwidth_mbs: 6000.0,
+    }
+}
+
+impl IoPath {
+    /// The sequential I/O path from `device` to the NFS filesystem.
+    pub fn for_device(device: Device, op: IoOp) -> IoPath {
+        match device {
+            Device::Host => IoPath {
+                name: "host-direct",
+                segments: vec![nfs_segment(op)],
+            },
+            Device::Phi0 | Device::Phi1 => IoPath {
+                name: "phi-virtio-nfs",
+                segments: vec![virtio_segment(op), nfs_segment(op)],
+            },
+        }
+    }
+
+    /// The paper's workaround: ship data to a host proxy rank over SCIF,
+    /// which performs the actual I/O.
+    pub fn phi_via_host_proxy(op: IoOp) -> IoPath {
+        IoPath {
+            name: "phi-scif-proxy",
+            segments: vec![scif_segment(), nfs_segment(op)],
+        }
+    }
+
+    /// Time in seconds to transfer one block of `block_bytes`.
+    pub fn block_time_s(&self, block_bytes: u64) -> f64 {
+        assert!(block_bytes > 0, "zero-byte I/O block");
+        self.segments
+            .iter()
+            .map(|s| s.latency_us * 1e-6 + block_bytes as f64 / (s.bandwidth_mbs * 1e6))
+            .sum()
+    }
+
+    /// Sequential bandwidth in MB/s at a given block size.
+    pub fn bandwidth_mbs(&self, block_bytes: u64) -> f64 {
+        block_bytes as f64 / self.block_time_s(block_bytes) / 1e6
+    }
+
+    /// Asymptotic (large-block) bandwidth in MB/s.
+    pub fn plateau_mbs(&self) -> f64 {
+        1.0 / self
+            .segments
+            .iter()
+            .map(|s| 1.0 / s.bandwidth_mbs)
+            .sum::<f64>()
+    }
+}
+
+/// One point of the Figure 17 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoPoint {
+    pub block_bytes: u64,
+    pub bandwidth_mbs: f64,
+}
+
+/// Sweep block sizes for a device/op pair (the Figure 17 data).
+pub fn io_sweep(device: Device, op: IoOp, blocks: &[u64]) -> Vec<IoPoint> {
+    let path = IoPath::for_device(device, op);
+    blocks
+        .iter()
+        .map(|&b| IoPoint {
+            block_bytes: b,
+            bandwidth_mbs: path.bandwidth_mbs(b),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIG: u64 = 64 * 1024 * 1024;
+
+    #[test]
+    fn figure17_host_plateaus() {
+        let w = IoPath::for_device(Device::Host, IoOp::Write).bandwidth_mbs(BIG);
+        let r = IoPath::for_device(Device::Host, IoOp::Read).bandwidth_mbs(BIG);
+        assert!((w - 210.0).abs() < 5.0, "host write {w}");
+        assert!((r - 295.0).abs() < 5.0, "host read {r}");
+    }
+
+    #[test]
+    fn figure17_phi_plateaus_and_factors() {
+        let w = IoPath::for_device(Device::Phi0, IoOp::Write).bandwidth_mbs(BIG);
+        let r = IoPath::for_device(Device::Phi0, IoOp::Read).bandwidth_mbs(BIG);
+        assert!((w - 80.0).abs() < 6.0, "phi write {w}");
+        assert!((r - 75.0).abs() < 5.0, "phi read {r}");
+        // "Write bandwidth on host is 2.6 times higher and read bandwidth
+        // 3.9 times higher than on Phi0."
+        let hw = IoPath::for_device(Device::Host, IoOp::Write).bandwidth_mbs(BIG);
+        let hr = IoPath::for_device(Device::Host, IoOp::Read).bandwidth_mbs(BIG);
+        assert!((hw / w - 2.6).abs() < 0.3, "write factor {}", hw / w);
+        assert!((hr / r - 3.9).abs() < 0.4, "read factor {}", hr / r);
+    }
+
+    #[test]
+    fn proxy_workaround_recovers_most_of_host_bandwidth() {
+        let direct = IoPath::for_device(Device::Phi0, IoOp::Write).plateau_mbs();
+        let proxy = IoPath::phi_via_host_proxy(IoOp::Write).plateau_mbs();
+        let host = IoPath::for_device(Device::Host, IoOp::Write).plateau_mbs();
+        assert!(proxy > 2.0 * direct, "proxy {proxy} vs direct {direct}");
+        assert!(proxy > 0.9 * host, "proxy {proxy} vs host {host}");
+    }
+
+    #[test]
+    fn small_blocks_are_latency_bound() {
+        let path = IoPath::for_device(Device::Host, IoOp::Read);
+        assert!(path.bandwidth_mbs(4 * 1024) < 0.2 * path.plateau_mbs());
+        // Monotone ramp to the plateau.
+        let mut prev = 0.0;
+        for kb in [4u64, 64, 1024, 16 * 1024] {
+            let bw = path.bandwidth_mbs(kb * 1024);
+            assert!(bw > prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn sweep_covers_requested_blocks() {
+        let pts = io_sweep(Device::Phi1, IoOp::Read, &[4096, 65536, 1 << 20]);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[2].bandwidth_mbs > pts[0].bandwidth_mbs);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the I/O path model.
+
+use maia_arch::Device;
+use maia_iosim::{IoOp, IoPath};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential bandwidth is monotone in block size and bounded by the
+    /// path's plateau.
+    #[test]
+    fn bandwidth_monotone_and_bounded(b1 in 512u64..1u64 << 28, b2 in 512u64..1u64 << 28) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        for dev in [Device::Host, Device::Phi0, Device::Phi1] {
+            for op in [IoOp::Read, IoOp::Write] {
+                let path = IoPath::for_device(dev, op);
+                prop_assert!(path.bandwidth_mbs(lo) <= path.bandwidth_mbs(hi) + 1e-9);
+                prop_assert!(path.bandwidth_mbs(hi) <= path.plateau_mbs() + 1e-9);
+            }
+        }
+    }
+
+    /// A composed path is never faster than its slowest segment, and the
+    /// Phi path is never faster than the host path at any block size.
+    #[test]
+    fn composition_laws(block in 512u64..1u64 << 28) {
+        for op in [IoOp::Read, IoOp::Write] {
+            let host = IoPath::for_device(Device::Host, op);
+            let phi = IoPath::for_device(Device::Phi0, op);
+            prop_assert!(phi.bandwidth_mbs(block) <= host.bandwidth_mbs(block));
+            let slowest_segment = phi
+                .segments
+                .iter()
+                .map(|s| s.bandwidth_mbs)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(phi.plateau_mbs() <= slowest_segment + 1e-9);
+        }
+    }
+
+    /// Block time is strictly additive over segments.
+    #[test]
+    fn block_time_is_segment_sum(block in 512u64..1u64 << 24) {
+        let phi = IoPath::for_device(Device::Phi0, IoOp::Write);
+        let total = phi.block_time_s(block);
+        let by_parts: f64 = phi
+            .segments
+            .iter()
+            .map(|s| s.latency_us * 1e-6 + block as f64 / (s.bandwidth_mbs * 1e6))
+            .sum();
+        prop_assert!((total - by_parts).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,120 @@
+//! Derivation of a flat performance-model view of a processor's memory
+//! hierarchy from its [`ProcessorSpec`].
+
+use maia_arch::{CacheSpec, ProcessorSpec};
+
+/// One level of the modeled hierarchy, with capacities and rates resolved
+/// to absolute units at the core's clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelLevel {
+    /// "L1", "L2", "L3" or "MEM".
+    pub name: &'static str,
+    /// Capacity visible to a single thread's working set, bytes.
+    /// `u64::MAX` for main memory.
+    pub capacity_bytes: u64,
+    /// Load-to-use latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Sustained single-thread read bandwidth, GB/s.
+    pub read_gbs: f64,
+    /// Sustained single-thread write bandwidth, GB/s.
+    pub write_gbs: f64,
+}
+
+/// The resolved hierarchy for one processor: cache levels (L1 → LLC) then
+/// main memory, with strictly increasing capacity and latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHierarchy {
+    pub levels: Vec<ModelLevel>,
+}
+
+fn level_name(c: &CacheSpec) -> &'static str {
+    c.level.label()
+}
+
+impl ModelHierarchy {
+    /// Build the model view from an architecture description.
+    pub fn from_processor(p: &ProcessorSpec) -> Self {
+        let f = p.core.freq_ghz;
+        let mut levels: Vec<ModelLevel> = p
+            .caches
+            .iter()
+            .map(|c| ModelLevel {
+                name: level_name(c),
+                capacity_bytes: c.size_bytes,
+                latency_ns: c.latency_ns(f),
+                read_gbs: c.read_bw_gbs(f),
+                write_gbs: c.write_bw_gbs(f),
+            })
+            .collect();
+        levels.push(ModelLevel {
+            name: "MEM",
+            capacity_bytes: u64::MAX,
+            latency_ns: p.memory.idle_latency_ns,
+            read_gbs: p.memory.per_core_read_gbs,
+            write_gbs: p.memory.per_core_write_gbs,
+        });
+        let h = ModelHierarchy { levels };
+        h.validate();
+        h
+    }
+
+    /// The cache levels only (everything but main memory).
+    pub fn cache_levels(&self) -> &[ModelLevel] {
+        &self.levels[..self.levels.len() - 1]
+    }
+
+    /// The main-memory level.
+    pub fn memory(&self) -> &ModelLevel {
+        self.levels.last().expect("hierarchy always has memory")
+    }
+
+    /// Internal consistency: capacities and latencies strictly increase
+    /// outward; bandwidths weakly decrease.
+    fn validate(&self) {
+        for w in self.levels.windows(2) {
+            assert!(
+                w[0].capacity_bytes < w[1].capacity_bytes,
+                "capacities must increase outward: {} !< {}",
+                w[0].name,
+                w[1].name
+            );
+            assert!(
+                w[0].latency_ns < w[1].latency_ns,
+                "latencies must increase outward: {} !< {}",
+                w[0].name,
+                w[1].name
+            );
+            assert!(
+                w[0].read_gbs >= w[1].read_gbs,
+                "read bandwidth must not increase outward"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maia_arch::presets;
+
+    #[test]
+    fn host_has_four_levels_phi_three() {
+        let h = ModelHierarchy::from_processor(&presets::xeon_e5_2670());
+        assert_eq!(
+            h.levels.iter().map(|l| l.name).collect::<Vec<_>>(),
+            vec!["L1", "L2", "L3", "MEM"]
+        );
+        let p = ModelHierarchy::from_processor(&presets::xeon_phi_5110p());
+        assert_eq!(
+            p.levels.iter().map(|l| l.name).collect::<Vec<_>>(),
+            vec!["L1", "L2", "MEM"]
+        );
+    }
+
+    #[test]
+    fn memory_level_is_terminal() {
+        let h = ModelHierarchy::from_processor(&presets::xeon_e5_2670());
+        assert_eq!(h.memory().name, "MEM");
+        assert_eq!(h.cache_levels().len(), 3);
+    }
+}

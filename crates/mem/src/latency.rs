@@ -1,0 +1,171 @@
+//! Memory load latency experiments (paper Figure 5).
+//!
+//! Two implementations of the same experiment:
+//!
+//! * [`analytic_latency_ns`] — a closed-form capacity model: a random
+//!   pointer chase over a working set of `ws` bytes hits level *l* for the
+//!   fraction of the set resident there, so the average latency is the
+//!   capacity-weighted blend of level latencies. Fast; used by sweeps.
+//! * [`chase_latency_ns`] — runs an actual randomized pointer-chase trace
+//!   through the functional cache simulator
+//!   ([`crate::cache_sim::HierarchySim`]) and reports the
+//!   measured average. Slower; used by tests to validate the analytic
+//!   model mechanistically.
+
+use maia_arch::ProcessorSpec;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cache_sim::HierarchySim;
+use crate::hierarchy::ModelHierarchy;
+
+/// Average load-to-use latency (ns) for a random pointer chase over a
+/// working set of `ws_bytes`, from the capacity model.
+pub fn analytic_latency_ns(p: &ProcessorSpec, ws_bytes: u64) -> f64 {
+    assert!(ws_bytes > 0, "working set must be non-empty");
+    let h = ModelHierarchy::from_processor(p);
+    let ws = ws_bytes as f64;
+    let mut covered = 0.0f64;
+    let mut acc = 0.0f64;
+    for level in &h.levels {
+        let cap = if level.capacity_bytes == u64::MAX {
+            f64::INFINITY
+        } else {
+            level.capacity_bytes as f64
+        };
+        let upto = cap.min(ws);
+        let span = (upto - covered).max(0.0);
+        acc += span / ws * level.latency_ns;
+        covered = covered.max(upto);
+        if covered >= ws {
+            break;
+        }
+    }
+    acc
+}
+
+/// One point of a latency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    pub working_set_bytes: u64,
+    pub latency_ns: f64,
+}
+
+/// Sweep working-set sizes (powers of two from `min` to `max` with two
+/// midpoints per octave) through the analytic model — the data for
+/// Figure 5.
+pub fn latency_sweep(p: &ProcessorSpec, min_bytes: u64, max_bytes: u64) -> Vec<LatencyPoint> {
+    assert!(min_bytes > 0 && min_bytes <= max_bytes);
+    let mut out = Vec::new();
+    let mut ws = min_bytes;
+    while ws <= max_bytes {
+        for mul in [4u64, 5, 6] {
+            let s = ws / 4 * mul;
+            if s >= min_bytes && s <= max_bytes {
+                out.push(LatencyPoint {
+                    working_set_bytes: s,
+                    latency_ns: analytic_latency_ns(p, s),
+                });
+            }
+        }
+        ws = ws.checked_mul(2).expect("sweep bound overflow");
+    }
+    out
+}
+
+/// Measure chase latency through the functional cache simulator.
+///
+/// Builds a random cyclic permutation of `ws_bytes / line` cache lines
+/// (seeded; deterministic), warms the hierarchy with one full traversal,
+/// then measures `passes` traversals.
+pub fn chase_latency_ns(p: &ProcessorSpec, ws_bytes: u64, passes: u32, seed: u64) -> f64 {
+    let line = 64u64;
+    let n_lines = (ws_bytes / line).max(1);
+    let mut order: Vec<u64> = (0..n_lines).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut sim = HierarchySim::from_processor(p);
+    // Warm-up pass.
+    for &l in &order {
+        sim.access(l * line);
+    }
+    sim.reset_stats();
+    for _ in 0..passes {
+        for &l in &order {
+            sim.access(l * line);
+        }
+    }
+    sim.average_latency_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maia_arch::presets;
+
+    #[test]
+    fn host_plateaus_match_figure5() {
+        let p = presets::xeon_e5_2670();
+        // Deep inside each region the analytic model sits on the plateau.
+        assert!((analytic_latency_ns(&p, 16 * 1024) - 1.54).abs() < 0.02); // L1
+        let l2 = analytic_latency_ns(&p, 128 * 1024);
+        assert!(l2 > 3.0 && l2 < 4.7, "L2 region: {l2}");
+        let l3 = analytic_latency_ns(&p, 10 * 1024 * 1024);
+        assert!(l3 > 14.0 && l3 < 15.1, "L3 region: {l3}");
+        let mem = analytic_latency_ns(&p, 512 * 1024 * 1024);
+        assert!(mem > 77.0 && mem < 81.1, "MEM region: {mem}");
+    }
+
+    #[test]
+    fn phi_plateaus_match_figure5() {
+        let p = presets::xeon_phi_5110p();
+        assert!((analytic_latency_ns(&p, 16 * 1024) - 2.86).abs() < 0.03); // L1
+        let l2 = analytic_latency_ns(&p, 256 * 1024);
+        assert!(l2 > 20.0 && l2 < 23.0, "L2 region: {l2}");
+        let mem = analytic_latency_ns(&p, 256 * 1024 * 1024);
+        assert!(mem > 290.0 && mem < 295.1, "MEM region: {mem}");
+    }
+
+    #[test]
+    fn phi_latency_exceeds_host_at_every_size() {
+        let host = presets::xeon_e5_2670();
+        let phi = presets::xeon_phi_5110p();
+        for ws in [4 * 1024u64, 64 * 1024, 1 << 20, 1 << 26] {
+            assert!(
+                analytic_latency_ns(&phi, ws) > analytic_latency_ns(&host, ws),
+                "Phi should be slower at ws={ws}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_working_set() {
+        let p = presets::xeon_e5_2670();
+        let sweep = latency_sweep(&p, 1024, 1 << 28);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].latency_ns >= w[0].latency_ns - 1e-12,
+                "latency decreased from {:?} to {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_agrees_with_analytic_model_in_plateaus() {
+        let p = presets::xeon_e5_2670();
+        // Within-L1 working set: both give the L1 latency.
+        let sim = chase_latency_ns(&p, 16 * 1024, 3, 42);
+        let ana = analytic_latency_ns(&p, 16 * 1024);
+        assert!((sim - ana).abs() < 0.05, "sim {sim} vs analytic {ana}");
+        // L2-resident working set (past L1, within L2): close agreement.
+        let sim = chase_latency_ns(&p, 128 * 1024, 3, 42);
+        let ana = analytic_latency_ns(&p, 128 * 1024);
+        assert!(
+            (sim - ana).abs() / ana < 0.35,
+            "sim {sim} vs analytic {ana}"
+        );
+    }
+}

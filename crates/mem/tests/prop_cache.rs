@@ -1,0 +1,89 @@
+//! Property-based tests for the cache simulator and the memory models.
+
+use maia_arch::presets;
+use maia_mem::bandwidth::{per_core_bw_gbs, AccessKind};
+use maia_mem::{analytic_latency_ns, SetAssocCache};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Immediately re-accessing any address always hits.
+    #[test]
+    fn reaccess_always_hits(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..200),
+        assoc in 1u32..16,
+    ) {
+        let mut c = SetAssocCache::new(64 * 64 * assoc as u64, 64, assoc);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} missed right after access");
+        }
+    }
+
+    /// A working set no larger than capacity never misses in steady state,
+    /// regardless of the (repeating) access order.
+    #[test]
+    fn small_working_set_reaches_steady_state(
+        n_lines in 1u64..64,
+        perm_seed in any::<u64>(),
+    ) {
+        // Fully associative by construction: 1 set of 64 ways.
+        let mut c = SetAssocCache::new(64 * 64, 64, 64);
+        let mut lines: Vec<u64> = (0..n_lines).map(|i| i * 64).collect();
+        // Deterministic pseudo-shuffle from the seed.
+        let len = lines.len();
+        for i in 0..len {
+            let j = (perm_seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)
+                % len as u64) as usize;
+            lines.swap(i, j);
+        }
+        for &a in &lines {
+            c.access(a);
+        }
+        for &a in &lines {
+            prop_assert!(c.access(a));
+        }
+    }
+
+    /// Accessing addresses never changes the cache's capacity accounting,
+    /// and probe agrees with a subsequent access (a probed-resident line
+    /// must hit).
+    #[test]
+    fn probe_is_consistent_with_access(addrs in prop::collection::vec(0u64..1u64 << 20, 1..300)) {
+        let mut c = SetAssocCache::new(8 * 1024, 64, 4);
+        for a in addrs {
+            let resident = c.probe(a);
+            let hit = c.access(a);
+            prop_assert_eq!(resident, hit, "probe/access disagreed at {:#x}", a);
+        }
+        prop_assert_eq!(c.capacity_bytes(), 8 * 1024);
+    }
+
+    /// The analytic latency curve is monotone non-decreasing in working-set
+    /// size for both processors.
+    #[test]
+    fn latency_monotone(ws1 in 1u64..1u64 << 30, ws2 in 1u64..1u64 << 30) {
+        let (lo, hi) = if ws1 <= ws2 { (ws1, ws2) } else { (ws2, ws1) };
+        for p in [presets::xeon_e5_2670(), presets::xeon_phi_5110p()] {
+            prop_assert!(analytic_latency_ns(&p, lo) <= analytic_latency_ns(&p, hi) + 1e-12);
+        }
+    }
+
+    /// Per-core bandwidth is monotone non-increasing in working-set size
+    /// and bounded by the L1 and memory plateaus.
+    #[test]
+    fn bandwidth_monotone_and_bounded(ws1 in 64u64..1u64 << 30, ws2 in 64u64..1u64 << 30) {
+        let (lo, hi) = if ws1 <= ws2 { (ws1, ws2) } else { (ws2, ws1) };
+        for p in [presets::xeon_e5_2670(), presets::xeon_phi_5110p()] {
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                let b_lo = per_core_bw_gbs(&p, lo, kind);
+                let b_hi = per_core_bw_gbs(&p, hi, kind);
+                prop_assert!(b_lo + 1e-12 >= b_hi, "bandwidth increased with size");
+                let l1 = per_core_bw_gbs(&p, 64, kind);
+                let mem = per_core_bw_gbs(&p, 1u64 << 33, kind);
+                prop_assert!(b_lo <= l1 + 1e-9 && b_hi + 1e-9 >= mem);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # maia-mpi — a simulated MPI runtime over the modeled fabrics
+//!
+//! MPI ranks are processes on the `maia-sim` discrete-event engine; rank
+//! programs are ordinary blocking Rust closures against [`Rank`], which
+//! offers point-to-point operations with `(source, tag)` matching and the
+//! collectives the paper benchmarks (Figures 10–14). Collectives are real
+//! algorithm implementations — binomial trees, recursive doubling, Bruck,
+//! ring, pairwise exchange — executed in virtual time over the transport
+//! model, so their scaling behaviour (including the Allgather
+//! algorithm-switch jump at 2–4 KB) *emerges* from the algorithms.
+//!
+//! Transport costs come from three regimes:
+//! * intra-device shared memory, with a thread-oversubscription penalty
+//!   table calibrated to Figure 10,
+//! * host↔Phi and Phi↔Phi over PCIe through the DAPL provider stacks of
+//!   `maia-interconnect` (pre/post-update, Figures 7–9),
+//! * inter-node FDR InfiniBand.
+//!
+//! Device memory budgeting ([`memory`]) reproduces the paper's failures:
+//! MPI_Alltoall beyond 4 KB at 236 ranks and NPB FT Class C on the Phi.
+//!
+//! Beyond the paper's needs, the runtime also offers: *data-carrying*
+//! messages and collectives (real `f64` payloads priced in virtual time —
+//! the basis of the verifiable distributed NPB and OVERFLOW runs),
+//! nonblocking `isend`/`wait` with genuine overlap semantics,
+//! sub-communicator [`Group`]s (`MPI_Comm_split`), per-rank
+//! communication/compute accounting ([`RankStats`]), and scheduler
+//! tracing ([`MpiWorld::run_traced`]).
+
+pub mod bench;
+pub mod coll;
+pub mod memory;
+pub mod placement;
+pub mod transport;
+pub mod world;
+
+pub use memory::{MemoryBudget, OomError};
+pub use placement::{RankPlacement, WorldSpec};
+pub use transport::TransportModel;
+pub use coll::Group;
+pub use world::{MpiWorld, Rank, RankStats, Request};

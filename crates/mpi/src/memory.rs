@@ -1,0 +1,148 @@
+//! Device memory budgeting.
+//!
+//! The Phi's 8 GB card memory is the paper's recurring constraint: the
+//! MPI version of NPB FT Class C needs ~10 GB and cannot run at all
+//! (Figure 20), and `MPI_Alltoall` at 236 ranks exhausts memory beyond a
+//! 4 KB message size (Figure 14). This module models the budget: card
+//! capacity minus the MPSS/OS reserve minus the MPI library's
+//! per-connection buffers, compared against the experiment's footprint.
+
+use std::fmt;
+
+use maia_arch::Device;
+
+/// "Out of memory" — the experiment cannot run on this device, matching
+/// the failures the paper reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    pub device: Device,
+    pub required_bytes: u64,
+    pub available_bytes: u64,
+    pub what: String,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} out of memory for {}: need {:.2} GB, have {:.2} GB",
+            self.device,
+            self.what,
+            self.required_bytes as f64 / 1e9,
+            self.available_bytes as f64 / 1e9
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Memory budget of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Physical capacity, bytes.
+    pub capacity: u64,
+    /// Micro-OS + MPSS + filesystem cache reserve, bytes.
+    pub reserve: u64,
+    /// MPI library buffer per connection (each rank pair on the device
+    /// holds eager buffers at both ends), bytes.
+    pub conn_buf: u64,
+}
+
+impl MemoryBudget {
+    /// The calibrated budget for each Maia device.
+    pub fn for_device(device: Device) -> Self {
+        match device {
+            Device::Host => MemoryBudget {
+                capacity: 32 * (1u64 << 30),
+                reserve: 2 * (1u64 << 30),
+                conn_buf: 90 * 1024,
+            },
+            Device::Phi0 | Device::Phi1 => MemoryBudget {
+                capacity: 8 * (1u64 << 30),
+                // BusyBox micro-OS, MPSS stack, virtual TCP/IP buffers.
+                reserve: 2 * (1u64 << 30),
+                conn_buf: 90 * 1024,
+            },
+        }
+    }
+
+    /// Bytes left for application data after the OS reserve and the MPI
+    /// library's all-pairs connection buffers for `ranks` resident ranks.
+    pub fn available(&self, ranks: usize) -> u64 {
+        let conns = (ranks as u64) * (ranks as u64);
+        self.capacity
+            .saturating_sub(self.reserve)
+            .saturating_sub(conns * self.conn_buf)
+    }
+
+    /// Check that an application footprint of `bytes` fits alongside
+    /// `ranks` ranks of MPI state.
+    pub fn check(&self, device: Device, ranks: usize, bytes: u64, what: &str) -> Result<(), OomError> {
+        let available = self.available(ranks);
+        if bytes > available {
+            Err(OomError {
+                device,
+                required_bytes: bytes,
+                available_bytes: available,
+                what: what.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Application footprint of an `MPI_Alltoall` on `ranks` ranks with
+    /// `msg_bytes` per pair: send + receive + pack scratch = 3 buffers of
+    /// `ranks × msg_bytes` per rank.
+    pub fn alltoall_footprint(ranks: usize, msg_bytes: u64) -> u64 {
+        3 * ranks as u64 * msg_bytes * ranks as u64
+    }
+
+    /// Feasibility of the Figure 14 experiment on one device.
+    pub fn check_alltoall(device: Device, ranks: usize, msg_bytes: u64) -> Result<(), OomError> {
+        let budget = Self::for_device(device);
+        budget.check(
+            device,
+            ranks,
+            Self::alltoall_footprint(ranks, msg_bytes),
+            "MPI_Alltoall buffers",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_alltoall_fails_past_4kb_at_236_ranks() {
+        // "For 4 threads per core (236 threads) it could be run only up to
+        // a maximum message size of 4 KB."
+        assert!(MemoryBudget::check_alltoall(Device::Phi0, 236, 4 * 1024).is_ok());
+        assert!(MemoryBudget::check_alltoall(Device::Phi0, 236, 8 * 1024).is_err());
+    }
+
+    #[test]
+    fn alltoall_feasible_at_lower_rank_counts() {
+        // 59 ranks handle far larger messages.
+        assert!(MemoryBudget::check_alltoall(Device::Phi0, 59, 256 * 1024).is_ok());
+        // The host with 16 ranks never struggles up to 4 MB.
+        assert!(MemoryBudget::check_alltoall(Device::Host, 16, 4 * 1024 * 1024).is_ok());
+    }
+
+    #[test]
+    fn oom_error_reports_quantities() {
+        let e = MemoryBudget::check_alltoall(Device::Phi0, 236, 1 << 20).unwrap_err();
+        assert_eq!(e.device, Device::Phi0);
+        assert!(e.required_bytes > e.available_bytes);
+        let msg = format!("{e}");
+        assert!(msg.contains("out of memory"));
+    }
+
+    #[test]
+    fn available_never_underflows() {
+        let b = MemoryBudget::for_device(Device::Phi0);
+        // Preposterous rank count: saturates to zero, no panic.
+        assert_eq!(b.available(1_000_000), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Rank placement: which device and node every MPI rank lives on.
+
+use maia_arch::Device;
+use maia_interconnect::SoftwareStack;
+
+/// Where one rank runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankPlacement {
+    /// Node index in the cluster (0 for single-node experiments).
+    pub node: u32,
+    /// Device within the node.
+    pub device: Device,
+}
+
+impl RankPlacement {
+    /// Convenience constructor for node 0.
+    pub fn on(device: Device) -> Self {
+        RankPlacement { node: 0, device }
+    }
+}
+
+/// The full description of an MPI world.
+#[derive(Debug, Clone)]
+pub struct WorldSpec {
+    /// Placement of each rank; `placements.len()` is the world size.
+    pub placements: Vec<RankPlacement>,
+    /// Which DAPL software stack carries host↔Phi traffic.
+    pub stack: SoftwareStack,
+}
+
+impl WorldSpec {
+    /// All ranks on one device of node 0 (the common intra-device
+    /// benchmark layout).
+    pub fn all_on(device: Device, ranks: usize) -> Self {
+        assert!(ranks >= 1, "world needs at least one rank");
+        WorldSpec {
+            placements: vec![RankPlacement::on(device); ranks],
+            stack: SoftwareStack::PostUpdate,
+        }
+    }
+
+    /// A symmetric-mode layout: `host` ranks on the host and `per_phi`
+    /// ranks on each Phi card of node 0.
+    pub fn symmetric(host: usize, per_phi: usize, stack: SoftwareStack) -> Self {
+        let mut placements = Vec::with_capacity(host + 2 * per_phi);
+        placements.extend(std::iter::repeat_n(RankPlacement::on(Device::Host), host));
+        placements.extend(std::iter::repeat_n(RankPlacement::on(Device::Phi0), per_phi));
+        placements.extend(std::iter::repeat_n(RankPlacement::on(Device::Phi1), per_phi));
+        WorldSpec { placements, stack }
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of ranks resident on `device` (any node).
+    pub fn ranks_on(&self, device: Device) -> usize {
+        self.placements.iter().filter(|p| p.device == device).count()
+    }
+
+    /// Hardware threads per core implied by the rank count on a Phi card:
+    /// 59 application cores, so 60 ranks occupy 2 threads on some cores
+    /// and the MPI library behaves like the 2-threads/core regime.
+    pub fn threads_per_core(&self, device: Device) -> u32 {
+        let ranks = self.ranks_on(device) as u32;
+        if ranks == 0 {
+            return 1;
+        }
+        match device {
+            Device::Host => ranks.div_ceil(16).min(2),
+            Device::Phi0 | Device::Phi1 => ranks.div_ceil(59).min(4),
+        }
+    }
+
+    /// Validate: world non-empty and Phi rank counts within hardware
+    /// thread limits.
+    ///
+    /// # Panics
+    /// Panics on an impossible layout (more ranks than hardware threads).
+    pub fn validate(&self) {
+        assert!(!self.placements.is_empty(), "empty MPI world");
+        for device in Device::ALL {
+            let ranks = self.ranks_on(device);
+            let limit = match device {
+                Device::Host => 32,
+                _ => 236,
+            };
+            assert!(
+                ranks <= limit,
+                "{ranks} ranks exceed {device}'s hardware thread limit {limit}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_on_places_every_rank() {
+        let w = WorldSpec::all_on(Device::Phi0, 59);
+        assert_eq!(w.size(), 59);
+        assert_eq!(w.ranks_on(Device::Phi0), 59);
+        assert_eq!(w.ranks_on(Device::Host), 0);
+        w.validate();
+    }
+
+    #[test]
+    fn threads_per_core_tracks_rank_count() {
+        for (ranks, tpc) in [(59, 1), (118, 2), (177, 3), (236, 4)] {
+            let w = WorldSpec::all_on(Device::Phi0, ranks);
+            assert_eq!(w.threads_per_core(Device::Phi0), tpc, "{ranks} ranks");
+        }
+        let w = WorldSpec::all_on(Device::Host, 16);
+        assert_eq!(w.threads_per_core(Device::Host), 1);
+    }
+
+    #[test]
+    fn symmetric_layout_counts() {
+        let w = WorldSpec::symmetric(16, 8, SoftwareStack::PostUpdate);
+        assert_eq!(w.size(), 32);
+        assert_eq!(w.ranks_on(Device::Host), 16);
+        assert_eq!(w.ranks_on(Device::Phi0), 8);
+        assert_eq!(w.ranks_on(Device::Phi1), 8);
+        w.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn overfull_phi_rejected() {
+        WorldSpec::all_on(Device::Phi0, 237).validate();
+    }
+}

@@ -1,0 +1,664 @@
+//! The MPI world: ranks as simulation processes, point-to-point messaging
+//! with `(source, tag)` matching.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use maia_sim::channel::SimChannel;
+use maia_sim::{Engine, ProcCtx, SimDuration, SimError, SimTime};
+
+use crate::placement::{RankPlacement, WorldSpec};
+use crate::transport::TransportModel;
+
+/// Wildcard for [`Rank::recv`]'s source argument (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// An in-flight simulated message. Timing is always driven by `bytes`;
+/// `data` optionally carries a *real* payload so distributed algorithms
+/// can compute genuine results while the engine accounts virtual time.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    pub src: usize,
+    pub tag: i32,
+    pub bytes: u64,
+    /// Real payload (f64 words), if the sender used [`Rank::send_data`].
+    pub data: Option<Vec<f64>>,
+    /// Virtual instant at which the payload is fully on the receiver's
+    /// side. Blocking sends deliver at the sender's post-transfer time;
+    /// nonblocking sends deliver "into the future" and the receiver waits
+    /// out the remainder.
+    pub ready: SimTime,
+}
+
+/// Handle for a nonblocking operation; complete it with [`Rank::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Request must be waited on"]
+pub struct Request {
+    completion: SimTime,
+}
+
+/// Per-rank time accounting, split the way the paper discusses symmetric
+/// mode ("communication time and overhead due to load imbalance ...
+/// outweigh the speedup").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Virtual seconds spent in sends, receives and waits.
+    pub comm_s: f64,
+    /// Virtual seconds spent in injected compute and reduction operators.
+    pub compute_s: f64,
+}
+
+/// Outcome of a completed world run.
+#[derive(Debug, Clone)]
+pub struct WorldResult {
+    /// Virtual time at which the last event fired.
+    pub end_time: SimTime,
+    /// Per-rank program completion times, seconds.
+    pub rank_finish_s: Vec<f64>,
+    /// Per-rank communication/compute split.
+    pub rank_stats: Vec<RankStats>,
+}
+
+/// Entry point: build and run SPMD rank programs over the simulated
+/// fabrics.
+pub struct MpiWorld;
+
+impl MpiWorld {
+    /// Run `program` on every rank of `spec`'s world. The program is a
+    /// blocking SPMD function of the rank handle; virtual time advances
+    /// through its sends, receives, collectives and
+    /// [`Rank::compute`] calls.
+    pub fn run<F>(spec: &WorldSpec, program: F) -> Result<WorldResult, SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        Self::run_inner(spec, program, false).map(|(r, _)| r)
+    }
+
+    /// Like [`MpiWorld::run`], additionally returning the engine's
+    /// scheduler trace (every resume/advance/block/finish of every rank,
+    /// in virtual-time order) — the raw material for timeline analysis.
+    pub fn run_traced<F>(
+        spec: &WorldSpec,
+        program: F,
+    ) -> Result<(WorldResult, Vec<maia_sim::TraceRecord>), SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        Self::run_inner(spec, program, true)
+    }
+
+    fn run_inner<F>(
+        spec: &WorldSpec,
+        program: F,
+        traced: bool,
+    ) -> Result<(WorldResult, Vec<maia_sim::TraceRecord>), SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        spec.validate();
+        let size = spec.size();
+        let tpc = [
+            spec.threads_per_core(maia_arch::Device::Host),
+            spec.threads_per_core(maia_arch::Device::Phi0),
+            spec.threads_per_core(maia_arch::Device::Phi1),
+        ];
+        let transport = Arc::new(TransportModel::new(spec.stack, tpc));
+        let placements = Arc::new(spec.placements.clone());
+        let mailboxes: Arc<Vec<SimChannel<Msg>>> = Arc::new(
+            (0..size)
+                .map(|r| SimChannel::new(format!("mbox-{r}")))
+                .collect(),
+        );
+        let finishes = Arc::new(Mutex::new(vec![0.0f64; size]));
+        let stats = Arc::new(Mutex::new(vec![RankStats::default(); size]));
+        let program = Arc::new(program);
+
+        let mut engine = Engine::new();
+        if traced {
+            engine.enable_tracing();
+        }
+        for rank_id in 0..size {
+            let transport = Arc::clone(&transport);
+            let placements = Arc::clone(&placements);
+            let mailboxes = Arc::clone(&mailboxes);
+            let finishes = Arc::clone(&finishes);
+            let stats = Arc::clone(&stats);
+            let program = Arc::clone(&program);
+            engine.spawn(format!("rank-{rank_id}"), move |ctx| {
+                let mut rank = Rank {
+                    ctx,
+                    rank: rank_id,
+                    size,
+                    placements,
+                    transport,
+                    mailboxes,
+                    unexpected: Vec::new(),
+                    stats: RankStats::default(),
+                };
+                program(&mut rank);
+                finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
+                stats.lock()[rank_id] = rank.stats;
+            });
+        }
+        let (end_time, trace) = engine.run_traced()?;
+        let rank_finish_s = finishes.lock().clone();
+        let rank_stats = stats.lock().clone();
+        Ok((
+            WorldResult {
+                end_time,
+                rank_finish_s,
+                rank_stats,
+            },
+            trace,
+        ))
+    }
+}
+
+/// Handle given to each rank's program: MPI-like operations in virtual
+/// time.
+pub struct Rank<'a> {
+    pub(crate) ctx: &'a mut ProcCtx,
+    rank: usize,
+    size: usize,
+    placements: Arc<Vec<RankPlacement>>,
+    pub(crate) transport: Arc<TransportModel>,
+    mailboxes: Arc<Vec<SimChannel<Msg>>>,
+    /// Messages received but not yet matched (out-of-order arrivals).
+    unexpected: Vec<Msg>,
+    stats: RankStats,
+}
+
+impl Rank<'_> {
+    /// This rank's index (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Where this rank runs.
+    pub fn placement(&self) -> RankPlacement {
+        self.placements[self.rank]
+    }
+
+    /// Where `rank` runs.
+    pub fn placement_of(&self, rank: usize) -> RankPlacement {
+        self.placements[rank]
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.ctx.now().as_secs_f64()
+    }
+
+    /// Consume `dur` of virtual compute time.
+    pub fn compute(&mut self, dur: SimDuration) {
+        self.stats.compute_s += dur.as_secs_f64();
+        self.ctx.advance(dur);
+    }
+
+    /// Advance virtual time attributing it to communication.
+    fn comm_advance(&mut self, dur: SimDuration) {
+        self.stats.comm_s += dur.as_secs_f64();
+        self.ctx.advance(dur);
+    }
+
+    /// The modeled one-way cost of sending `bytes` to `dest` from here.
+    pub fn message_cost(&self, dest: usize, bytes: u64) -> SimDuration {
+        self.transport
+            .message_time(self.placements[self.rank], self.placements[dest], bytes)
+    }
+
+    /// Blocking send (`MPI_Send`): pays the full transport cost, then the
+    /// message becomes available to the receiver.
+    ///
+    /// # Panics
+    /// Panics when `dest` is out of range or equal to the sender — MPI
+    /// self-sends deadlock a blocking implementation and indicate a bug in
+    /// the caller's algorithm.
+    pub fn send(&mut self, dest: usize, tag: i32, bytes: u64) {
+        assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
+        assert_ne!(dest, self.rank, "blocking self-send would deadlock");
+        let cost = self.message_cost(dest, bytes);
+        self.comm_advance(cost);
+        self.mailboxes[dest].send(
+            self.ctx,
+            Msg {
+                src: self.rank,
+                tag,
+                bytes,
+                data: None,
+                ready: self.ctx.now(),
+            },
+        );
+    }
+
+    /// Nonblocking send (`MPI_Isend`): the sender pays only a small
+    /// injection overhead now; the payload lands at the receiver at
+    /// `now + full transport cost`, and the returned [`Request`]
+    /// completes then. Compute placed between `isend` and [`Rank::wait`]
+    /// overlaps the transfer — the overlap the offload/symmetric codes
+    /// depend on.
+    pub fn isend(&mut self, dest: usize, tag: i32, bytes: u64) -> Request {
+        assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
+        assert_ne!(dest, self.rank, "self-send would never match");
+        let cost = self.message_cost(dest, bytes);
+        // Injection overhead: descriptor setup, ~5% of the wire time,
+        // at least the software latency share.
+        let inject = SimDuration::from_secs_f64(cost.as_secs_f64() * 0.05);
+        self.comm_advance(inject);
+        let ready = self.ctx.now() + cost;
+        self.mailboxes[dest].send(
+            self.ctx,
+            Msg {
+                src: self.rank,
+                tag,
+                bytes,
+                data: None,
+                ready,
+            },
+        );
+        Request { completion: ready }
+    }
+
+    /// Complete a nonblocking operation: blocks (in virtual time) until
+    /// the transfer has fully drained.
+    pub fn wait(&mut self, req: Request) {
+        let now = self.ctx.now();
+        if req.completion > now {
+            self.comm_advance(req.completion.since(now));
+        }
+    }
+
+    /// Complete many requests.
+    pub fn wait_all(&mut self, reqs: impl IntoIterator<Item = Request>) {
+        for r in reqs {
+            self.wait(r);
+        }
+    }
+
+    /// Blocking send carrying a real payload: transport timing uses the
+    /// payload's byte size; the receiver gets the actual values.
+    pub fn send_data(&mut self, dest: usize, tag: i32, data: &[f64]) {
+        assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
+        assert_ne!(dest, self.rank, "blocking self-send would deadlock");
+        let bytes = (data.len() * 8) as u64;
+        let cost = self.message_cost(dest, bytes);
+        self.comm_advance(cost);
+        self.mailboxes[dest].send(
+            self.ctx,
+            Msg {
+                src: self.rank,
+                tag,
+                bytes,
+                data: Some(data.to_vec()),
+                ready: self.ctx.now(),
+            },
+        );
+    }
+
+    /// Blocking receive of a payload-carrying message.
+    ///
+    /// # Panics
+    /// Panics if the matched message carries no payload — mixing the
+    /// timing-only and data-carrying APIs on one (source, tag) stream is
+    /// a caller bug.
+    pub fn recv_data(&mut self, src: Option<usize>, tag: i32) -> (usize, Vec<f64>) {
+        let m = self.recv(src, tag);
+        let data = m
+            .data
+            .expect("recv_data matched a message without a payload");
+        (m.src, data)
+    }
+
+    /// Like [`Rank::send`] but with the transport cost scaled by `factor`
+    /// — used by collectives to model fabric contention (e.g. alltoall
+    /// incast).
+    pub(crate) fn send_with_factor(&mut self, dest: usize, tag: i32, bytes: u64, factor: f64) {
+        assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
+        assert_ne!(dest, self.rank, "blocking self-send would deadlock");
+        assert!(factor >= 1.0, "contention factor must not speed messages up");
+        let cost = self.message_cost(dest, bytes).as_secs_f64() * factor;
+        self.comm_advance(SimDuration::from_secs_f64(cost));
+        self.mailboxes[dest].send(
+            self.ctx,
+            Msg {
+                src: self.rank,
+                tag,
+                bytes,
+                data: None,
+                ready: self.ctx.now(),
+            },
+        );
+    }
+
+    /// Blocking receive (`MPI_Recv`). `src = None` accepts any source;
+    /// `tag < 0` accepts any tag. Returns the matched message.
+    pub fn recv(&mut self, src: Option<usize>, tag: i32) -> Msg {
+        let matches = |m: &Msg| src.is_none_or(|s| s == m.src) && (tag < 0 || m.tag == tag);
+        let m = if let Some(pos) = self.unexpected.iter().position(matches) {
+            self.unexpected.remove(pos)
+        } else {
+            loop {
+                let mbox = self.mailboxes[self.rank].clone();
+                let m = mbox.recv(self.ctx);
+                if matches(&m) {
+                    break m;
+                }
+                self.unexpected.push(m);
+            }
+        };
+        // A nonblocking sender may have stamped a future delivery time.
+        let now = self.ctx.now();
+        if m.ready > now {
+            self.comm_advance(m.ready.since(now));
+        }
+        m
+    }
+
+    /// Combined exchange (`MPI_Sendrecv`): send to `dest`, receive from
+    /// `src`, overlapping as the transport allows.
+    pub fn sendrecv(&mut self, dest: usize, src: usize, tag: i32, bytes: u64) -> Msg {
+        self.send(dest, tag, bytes);
+        self.recv(Some(src), tag)
+    }
+
+    /// Apply the reduction-operator cost for `bytes` on this rank's
+    /// device.
+    pub fn reduce_op(&mut self, bytes: u64) {
+        let t = self.transport.reduce_time(self.placements[self.rank].device, bytes);
+        self.stats.compute_s += t.as_secs_f64();
+        self.ctx.advance(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maia_arch::Device;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn two_ranks_ping_pong() {
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        let res = MpiWorld::run(&spec, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, 1024);
+                let m = rank.recv(Some(1), 7);
+                assert_eq!(m.bytes, 1024);
+            } else {
+                let m = rank.recv(Some(0), 7);
+                rank.send(0, 7, m.bytes);
+            }
+        })
+        .unwrap();
+        // Two host-internal 1 KB messages: 2 x (0.5 us + 1024/2 GB/s).
+        let expected = 2.0 * (0.5e-6 + 1024.0 / 2e9);
+        assert!((res.end_time.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        MpiWorld::run(&spec, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, 10);
+                rank.send(1, 2, 20);
+            } else {
+                // Receive in reverse tag order.
+                let m2 = rank.recv(Some(0), 2);
+                assert_eq!(m2.bytes, 20);
+                let m1 = rank.recv(Some(0), 1);
+                assert_eq!(m1.bytes, 10);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let spec = WorldSpec::all_on(Device::Host, 3);
+        MpiWorld::run(&spec, |rank| match rank.rank() {
+            0 => {
+                let a = rank.recv(ANY_SOURCE, -1);
+                let b = rank.recv(ANY_SOURCE, -1);
+                let mut got = [a.src, b.src];
+                got.sort_unstable();
+                assert_eq!(got, [1, 2]);
+            }
+            _ => rank.send(0, 0, 64),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ring_exchange_runs_in_parallel() {
+        // A ring of p ranks exchanging m bytes takes ~one message time per
+        // iteration, not p message times.
+        let p = 8;
+        let spec = WorldSpec::all_on(Device::Host, p);
+        let m = 1 << 20;
+        let res = MpiWorld::run(&spec, move |rank| {
+            let right = (rank.rank() + 1) % rank.size();
+            let left = (rank.rank() + rank.size() - 1) % rank.size();
+            for it in 0..4 {
+                rank.sendrecv(right, left, it, m);
+            }
+        })
+        .unwrap();
+        let one_msg = 0.5e-6 + (1 << 20) as f64 / 2e9;
+        let total = res.end_time.as_secs_f64();
+        assert!(
+            total < 4.0 * one_msg * 1.5,
+            "ring serialized: {total} vs {one_msg}/iter"
+        );
+    }
+
+    #[test]
+    fn finish_times_recorded_for_every_rank() {
+        let spec = WorldSpec::all_on(Device::Host, 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let res = MpiWorld::run(&spec, move |rank| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            rank.compute(SimDuration::from_us(rank.rank() as f64));
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(res.rank_finish_s.len(), 4);
+        assert!((res.rank_finish_s[3] - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_recv_deadlocks_cleanly() {
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        let err = MpiWorld::run(&spec, |rank| {
+            if rank.rank() == 1 {
+                let _ = rank.recv(Some(0), 99); // never sent
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { blocked, .. } => assert_eq!(blocked, vec!["rank-1".to_string()]),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use maia_arch::Device;
+
+    #[test]
+    fn isend_overlaps_compute() {
+        // Blocking: send (t) then compute (t) => 2t.
+        // Nonblocking: isend, compute overlaps the wire time => ~t.
+        let m = 4 << 20;
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        let blocking = MpiWorld::run(&spec, move |rank| {
+            if rank.rank() == 0 {
+                let wire = rank.message_cost(1, m);
+                rank.send(1, 0, m);
+                rank.compute(wire);
+            } else {
+                let _ = rank.recv(Some(0), 0);
+            }
+        })
+        .unwrap()
+        .end_time
+        .as_secs_f64();
+
+        let overlapped = MpiWorld::run(&spec, move |rank| {
+            if rank.rank() == 0 {
+                let wire = rank.message_cost(1, m);
+                let req = rank.isend(1, 0, m);
+                rank.compute(wire);
+                rank.wait(req);
+            } else {
+                let _ = rank.recv(Some(0), 0);
+            }
+        })
+        .unwrap()
+        .end_time
+        .as_secs_f64();
+
+        assert!(
+            overlapped < 0.65 * blocking,
+            "no overlap: {overlapped} vs {blocking}"
+        );
+    }
+
+    #[test]
+    fn receiver_waits_for_late_delivery() {
+        // An eager receiver cannot see the data before the wire time has
+        // elapsed, even though the isend returns immediately.
+        let m = 1 << 20;
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        let res = MpiWorld::run(&spec, move |rank| {
+            if rank.rank() == 0 {
+                let req = rank.isend(1, 0, m);
+                rank.wait(req);
+            } else {
+                let msg = rank.recv(Some(0), 0);
+                // Receiver's clock must be at least the wire time.
+                let wire = rank.message_cost(0, m).as_secs_f64();
+                assert!(rank.now_s() >= wire * 0.9, "recv returned too early");
+                assert_eq!(msg.bytes, m);
+            }
+        })
+        .unwrap();
+        assert!(res.end_time.as_ps() > 0);
+    }
+
+    #[test]
+    fn wait_all_completes_every_request() {
+        let spec = WorldSpec::all_on(Device::Host, 4);
+        MpiWorld::run(&spec, |rank| {
+            if rank.rank() == 0 {
+                let reqs: Vec<Request> = (1..rank.size())
+                    .map(|d| rank.isend(d, 9, 64 * 1024))
+                    .collect();
+                rank.wait_all(reqs);
+            } else {
+                let _ = rank.recv(Some(0), 9);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wait_after_completion_is_free() {
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        MpiWorld::run(&spec, |rank| {
+            if rank.rank() == 0 {
+                let req = rank.isend(1, 0, 1024);
+                let wire = rank.message_cost(1, 1024);
+                rank.compute(wire);
+                rank.compute(wire);
+                let before = rank.now_s();
+                rank.wait(req); // already done
+                assert_eq!(rank.now_s(), before);
+            } else {
+                let _ = rank.recv(Some(0), 0);
+            }
+        })
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use maia_arch::Device;
+
+    #[test]
+    fn stats_split_comm_from_compute() {
+        let spec = WorldSpec::all_on(Device::Host, 2);
+        let res = MpiWorld::run(&spec, |rank| {
+            rank.compute(SimDuration::from_us(10.0));
+            if rank.rank() == 0 {
+                rank.send(1, 0, 1 << 20);
+            } else {
+                let _ = rank.recv(Some(0), 0);
+            }
+        })
+        .unwrap();
+        let s0 = res.rank_stats[0];
+        assert!((s0.compute_s - 10e-6).abs() < 1e-12);
+        // 1 MB at 2 GB/s + 0.5 us latency ~ 525 us of comm.
+        assert!(s0.comm_s > 400e-6 && s0.comm_s < 700e-6, "{}", s0.comm_s);
+        // The receiver's blocking time is not charged as wire comm (it
+        // idles in the mailbox); its comm_s is zero here.
+        assert_eq!(res.rank_stats[1].comm_s, 0.0);
+    }
+
+    #[test]
+    fn symmetric_world_is_comm_dominated() {
+        use maia_interconnect::SoftwareStack;
+        let spec = WorldSpec::symmetric(2, 1, SoftwareStack::PostUpdate);
+        let res = MpiWorld::run(&spec, |rank| {
+            rank.compute(SimDuration::from_us(5.0));
+            rank.allreduce(256 * 1024);
+        })
+        .unwrap();
+        // Ranks crossing PCIe accumulate far more communication time
+        // than the host-resident ranks.
+        let phi_stats = res.rank_stats.last().unwrap();
+        let host_stats = res.rank_stats[0];
+        assert!(
+            phi_stats.comm_s > 3.0 * host_stats.comm_s,
+            "phi comm {} vs host comm {}",
+            phi_stats.comm_s,
+            host_stats.comm_s
+        );
+    }
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use maia_arch::Device;
+
+    #[test]
+    fn traced_run_exposes_the_schedule() {
+        let spec = WorldSpec::all_on(Device::Host, 3);
+        let (res, trace) = MpiWorld::run_traced(&spec, |rank| {
+            rank.barrier();
+            rank.bcast(0, 4096);
+        })
+        .unwrap();
+        assert!(res.end_time.as_ps() > 0);
+        assert!(!trace.is_empty());
+        // Every rank appears; timestamps never decrease.
+        for pid in 0..3 {
+            assert!(trace.iter().any(|r| r.pid.index() == pid));
+        }
+        assert!(trace.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+    }
+}

@@ -1,0 +1,286 @@
+//! BT — block-tridiagonal ADI solver.
+//!
+//! NPB BT shares SP's approximately factored time step, but each 1-D
+//! factor couples the five components, so every line solve is a
+//! *block* tridiagonal system with 5×5 blocks inverted by Gaussian
+//! elimination — far more flops per point than SP, which is why BT is
+//! the most compute-dense (and best-vectorizing) of the three
+//! pseudo-applications on the Phi.
+
+use maia_omp::Team;
+
+use crate::class::{pseudo_app_params, Benchmark, Class};
+use crate::flow::{add_assign, for_each_line, residual, State5, CONVECT, COUPLING, NVAR};
+
+/// Pseudo-time step.
+pub const TAU: f64 = 0.8;
+
+/// A dense 5×5 block.
+pub type Mat5 = [[f64; NVAR]; NVAR];
+/// A 5-vector.
+pub type Vec5 = [f64; NVAR];
+
+/// `out = m · v`.
+pub fn matvec(m: &Mat5, v: &Vec5) -> Vec5 {
+    let mut out = [0.0; NVAR];
+    for (r, row) in m.iter().enumerate() {
+        let mut acc = 0.0;
+        for (c, coef) in row.iter().enumerate() {
+            acc += coef * v[c];
+        }
+        out[r] = acc;
+    }
+    out
+}
+
+/// `a · b`.
+pub fn matmul(a: &Mat5, b: &Mat5) -> Mat5 {
+    let mut out = [[0.0; NVAR]; NVAR];
+    for r in 0..NVAR {
+        for k in 0..NVAR {
+            let ark = a[r][k];
+            if ark != 0.0 {
+                for c in 0..NVAR {
+                    out[r][c] += ark * b[k][c];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Invert a 5×5 block by Gauss–Jordan elimination with partial pivoting.
+///
+/// # Panics
+/// Panics on a (numerically) singular block — the ADI blocks are
+/// diagonally dominant, so this indicates corrupted state.
+pub fn invert(m: &Mat5) -> Mat5 {
+    let mut a = *m;
+    let mut inv: Mat5 = [[0.0; NVAR]; NVAR];
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for col in 0..NVAR {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..NVAR {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv][col].abs() > 1e-300, "singular 5x5 block");
+        a.swap(col, piv);
+        inv.swap(col, piv);
+        let p = a[col][col];
+        for c in 0..NVAR {
+            a[col][c] /= p;
+            inv[col][c] /= p;
+        }
+        for r in 0..NVAR {
+            if r != col {
+                let f = a[r][col];
+                if f != 0.0 {
+                    for c in 0..NVAR {
+                        a[r][c] -= f * a[col][c];
+                        inv[r][c] -= f * inv[col][c];
+                    }
+                }
+            }
+        }
+    }
+    inv
+}
+
+/// The three constant blocks of one 1-D factor: (sub, diag, sup).
+pub fn adi_blocks() -> (Mat5, Mat5, Mat5) {
+    let mut sub = [[0.0; NVAR]; NVAR];
+    let mut diag = [[0.0; NVAR]; NVAR];
+    let mut sup = [[0.0; NVAR]; NVAR];
+    for m in 0..NVAR {
+        sub[m][m] = TAU * (-1.0 - CONVECT / 2.0);
+        sup[m][m] = TAU * (-1.0 + CONVECT / 2.0);
+        diag[m][m] = 1.0 + TAU * (2.0 + 0.5 / 3.0);
+        for l in 0..NVAR {
+            // A third of the component coupling per direction.
+            diag[m][l] += TAU * COUPLING[m][l] / 3.0;
+        }
+    }
+    (sub, diag, sup)
+}
+
+/// Solve a constant-block tridiagonal system along one line, in place.
+/// `rhs` is `n` contiguous 5-vectors (component-interleaved, as stored in
+/// [`State5`]).
+pub fn solve_block_tridiag(blocks: (Mat5, Mat5, Mat5), rhs: &mut [f64]) {
+    let (sub, diag, sup) = blocks;
+    let n = rhs.len() / NVAR;
+    assert!(n >= 2 && rhs.len() % NVAR == 0);
+    // Thomas algorithm with block coefficients.
+    let mut dprime: Vec<Mat5> = Vec::with_capacity(n);
+    dprime.push(diag);
+    let mut dinv: Vec<Mat5> = Vec::with_capacity(n);
+    dinv.push(invert(&diag));
+    for i in 1..n {
+        // D'_i = D − A · D'_{i-1}⁻¹ · C.
+        let correction = matmul(&matmul(&sub, &dinv[i - 1]), &sup);
+        let mut d = diag;
+        for r in 0..NVAR {
+            for c in 0..NVAR {
+                d[r][c] -= correction[r][c];
+            }
+        }
+        dinv.push(invert(&d));
+        dprime.push(d);
+        // rhs_i -= A · D'_{i-1}⁻¹ · rhs_{i-1}.
+        let prev: Vec5 = rhs[(i - 1) * NVAR..i * NVAR].try_into().expect("5-vector");
+        let t = matvec(&dinv[i - 1], &prev);
+        let t = matvec(&sub, &t);
+        for m in 0..NVAR {
+            rhs[i * NVAR + m] -= t[m];
+        }
+    }
+    // Back substitution: x_i = D'_i⁻¹ (rhs_i − C x_{i+1}).
+    let last: Vec5 = rhs[(n - 1) * NVAR..].try_into().expect("5-vector");
+    let x = matvec(&dinv[n - 1], &last);
+    rhs[(n - 1) * NVAR..].copy_from_slice(&x);
+    for i in (0..n - 1).rev() {
+        let next: Vec5 = rhs[(i + 1) * NVAR..(i + 2) * NVAR]
+            .try_into()
+            .expect("5-vector");
+        let cx = matvec(&sup, &next);
+        let mut b: Vec5 = rhs[i * NVAR..(i + 1) * NVAR].try_into().expect("5-vector");
+        for m in 0..NVAR {
+            b[m] -= cx[m];
+        }
+        let x = matvec(&dinv[i], &b);
+        rhs[i * NVAR..(i + 1) * NVAR].copy_from_slice(&x);
+    }
+}
+
+fn sweep_x(team: &Team, r: &mut State5) {
+    let blocks = adi_blocks();
+    for_each_line(team, r, |line| solve_block_tridiag(blocks, line));
+}
+
+/// Result of a BT run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtResult {
+    pub initial_rnorm: f64,
+    pub final_rnorm: f64,
+    pub steps: usize,
+}
+
+/// Run BT with explicit grid size and step count.
+pub fn run_custom(n: usize, steps: usize, threads: usize) -> BtResult {
+    let team = Team::new(threads);
+    let f = State5::forcing(n);
+    let mut u = State5::zeros(n);
+    let mut r = State5::zeros(n);
+    residual(&team, &u, &f, &mut r);
+    let initial_rnorm = r.norm();
+    for _ in 0..steps {
+        residual(&team, &u, &f, &mut r);
+        team.parallel_chunks(&mut r.data, |_s, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= TAU;
+            }
+        });
+        sweep_x(&team, &mut r);
+        let mut rr = r.rotate(&team);
+        sweep_x(&team, &mut rr);
+        let mut rrr = rr.rotate(&team);
+        sweep_x(&team, &mut rrr);
+        r = rrr.rotate(&team);
+        add_assign(&team, &mut u, &r);
+    }
+    residual(&team, &u, &f, &mut r);
+    BtResult {
+        initial_rnorm,
+        final_rnorm: r.norm(),
+        steps,
+    }
+}
+
+/// Class-parameterized run.
+pub fn run(class: Class, threads: usize) -> BtResult {
+    let (n, steps) = pseudo_app_params(Benchmark::Bt, class);
+    run_custom(n, steps, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_round_trips() {
+        let (_, diag, _) = adi_blocks();
+        let inv = invert(&diag);
+        let prod = matmul(&diag, &inv);
+        for r in 0..NVAR {
+            for c in 0..NVAR {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod[r][c] - expect).abs() < 1e-12, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn block_solver_matches_operator() {
+        // Verify A·x == rhs for the block tridiagonal operator.
+        let blocks = adi_blocks();
+        let (sub, diag, sup) = blocks;
+        let n = 6;
+        let rhs_orig: Vec<f64> = (0..n * NVAR).map(|i| ((i as f64) * 0.37).cos()).collect();
+        let mut x = rhs_orig.clone();
+        solve_block_tridiag(blocks, &mut x);
+        for i in 0..n {
+            let xi: Vec5 = x[i * NVAR..(i + 1) * NVAR].try_into().unwrap();
+            let mut acc = matvec(&diag, &xi);
+            if i > 0 {
+                let xm: Vec5 = x[(i - 1) * NVAR..i * NVAR].try_into().unwrap();
+                let t = matvec(&sub, &xm);
+                for m in 0..NVAR {
+                    acc[m] += t[m];
+                }
+            }
+            if i + 1 < n {
+                let xp: Vec5 = x[(i + 1) * NVAR..(i + 2) * NVAR].try_into().unwrap();
+                let t = matvec(&sup, &xp);
+                for m in 0..NVAR {
+                    acc[m] += t[m];
+                }
+            }
+            for m in 0..NVAR {
+                assert!(
+                    (acc[m] - rhs_orig[i * NVAR + m]).abs() < 1e-10,
+                    "point {i} comp {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_decreases_toward_steady_state() {
+        let r = run_custom(16, 30, 4);
+        assert!(
+            r.final_rnorm < 0.05 * r.initial_rnorm,
+            "BT failed to converge: {} -> {}",
+            r.initial_rnorm,
+            r.final_rnorm
+        );
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let a = run_custom(12, 5, 1);
+        let b = run_custom(12, 5, 5);
+        assert_eq!(a.final_rnorm.to_bits(), b.final_rnorm.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_block_is_rejected() {
+        let zero: Mat5 = [[0.0; NVAR]; NVAR];
+        let _ = invert(&zero);
+    }
+}

@@ -1,0 +1,206 @@
+//! NPB problem classes and per-benchmark problem sizes (NPB 3.3 tables).
+
+use std::fmt;
+
+/// The eight benchmarks of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    Ep,
+    Cg,
+    Mg,
+    Ft,
+    Is,
+    Bt,
+    Sp,
+    Lu,
+}
+
+impl Benchmark {
+    /// All benchmarks, kernels first.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Ep,
+        Benchmark::Cg,
+        Benchmark::Mg,
+        Benchmark::Ft,
+        Benchmark::Is,
+        Benchmark::Bt,
+        Benchmark::Sp,
+        Benchmark::Lu,
+    ];
+
+    /// The six benchmarks the paper's OpenMP figure plots (EP and IS are
+    /// omitted there).
+    pub const FIGURE19: [Benchmark; 6] = [
+        Benchmark::Bt,
+        Benchmark::Cg,
+        Benchmark::Ft,
+        Benchmark::Lu,
+        Benchmark::Mg,
+        Benchmark::Sp,
+    ];
+
+    /// Upper-case NPB name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Benchmark::Ep => "EP",
+            Benchmark::Cg => "CG",
+            Benchmark::Mg => "MG",
+            Benchmark::Ft => "FT",
+            Benchmark::Is => "IS",
+            Benchmark::Bt => "BT",
+            Benchmark::Sp => "SP",
+            Benchmark::Lu => "LU",
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// NPB problem classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+}
+
+impl Class {
+    /// All classes in size order.
+    pub const ALL: [Class; 5] = [Class::S, Class::W, Class::A, Class::B, Class::C];
+
+    /// Class letter.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::W => "W",
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// EP: log2 of the number of random pairs.
+pub fn ep_log2_pairs(class: Class) -> u32 {
+    match class {
+        Class::S => 24,
+        Class::W => 25,
+        Class::A => 28,
+        Class::B => 30,
+        Class::C => 32,
+    }
+}
+
+/// CG: (matrix order, nonzeros per row, outer iterations, eigenvalue
+/// shift).
+pub fn cg_params(class: Class) -> (usize, usize, usize, f64) {
+    match class {
+        Class::S => (1400, 7, 15, 10.0),
+        Class::W => (7000, 8, 15, 12.0),
+        Class::A => (14000, 11, 15, 20.0),
+        Class::B => (75000, 13, 75, 60.0),
+        Class::C => (150000, 15, 75, 110.0),
+    }
+}
+
+/// MG: (grid edge, V-cycle iterations).
+pub fn mg_params(class: Class) -> (usize, usize) {
+    match class {
+        Class::S => (32, 4),
+        Class::W => (128, 4),
+        Class::A => (256, 4),
+        Class::B => (256, 20),
+        Class::C => (512, 20),
+    }
+}
+
+/// FT: (nx, ny, nz, iterations).
+pub fn ft_params(class: Class) -> (usize, usize, usize, usize) {
+    match class {
+        Class::S => (64, 64, 64, 6),
+        Class::W => (128, 128, 32, 6),
+        Class::A => (256, 256, 128, 6),
+        Class::B => (512, 256, 256, 20),
+        Class::C => (512, 512, 512, 20),
+    }
+}
+
+/// IS: (log2 keys, log2 max key value).
+pub fn is_params(class: Class) -> (u32, u32) {
+    match class {
+        Class::S => (16, 11),
+        Class::W => (20, 16),
+        Class::A => (23, 19),
+        Class::B => (25, 21),
+        Class::C => (27, 23),
+    }
+}
+
+/// BT/SP/LU: (grid edge, time steps) — BT and SP share grids; LU matches.
+pub fn pseudo_app_params(bench: Benchmark, class: Class) -> (usize, usize) {
+    let grid = match class {
+        Class::S => 12,
+        Class::W => match bench {
+            Benchmark::Bt => 24,
+            Benchmark::Sp => 36,
+            _ => 33,
+        },
+        Class::A => 64,
+        Class::B => 102,
+        Class::C => 162,
+    };
+    let steps = match (bench, class) {
+        (Benchmark::Bt, Class::S) => 60,
+        (Benchmark::Bt, _) => 200,
+        (Benchmark::Sp, Class::S) => 100,
+        (Benchmark::Sp, _) => 400,
+        (Benchmark::Lu, Class::S) => 50,
+        (Benchmark::Lu, _) => 250,
+        _ => panic!("pseudo_app_params called for kernel benchmark {bench}"),
+    };
+    (grid, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_c_sizes_match_npb33() {
+        assert_eq!(ep_log2_pairs(Class::C), 32);
+        assert_eq!(cg_params(Class::C).0, 150000);
+        assert_eq!(mg_params(Class::C), (512, 20));
+        assert_eq!(ft_params(Class::C), (512, 512, 512, 20));
+        assert_eq!(pseudo_app_params(Benchmark::Bt, Class::C).0, 162);
+        assert_eq!(pseudo_app_params(Benchmark::Sp, Class::C).0, 162);
+        assert_eq!(pseudo_app_params(Benchmark::Lu, Class::C).0, 162);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel benchmark")]
+    fn pseudo_app_params_rejects_kernels() {
+        let _ = pseudo_app_params(Benchmark::Cg, Class::S);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(format!("{b}"), b.label());
+        }
+        for c in Class::ALL {
+            assert_eq!(format!("{c}"), c.label());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! IS — integer sort.
+//!
+//! NPB IS ranks `2^n` integer keys drawn from an approximately Gaussian
+//! distribution (average of four uniforms, like the reference code) over
+//! the range `[0, 2^maxkey)`, using a parallel counting/bucket sort, and
+//! verifies that the resulting ranking is a sorted permutation.
+
+use maia_omp::{Schedule, Team};
+
+use crate::ep::Ranlc;
+
+/// Generate the NPB IS key sequence: each key is the average of four
+/// uniform draws scaled to the key range.
+pub fn generate_keys(log2_n: u32, log2_max: u32, seed: u64) -> Vec<u32> {
+    let n = 1usize << log2_n;
+    let max_key = 1u32 << log2_max;
+    let mut rng = Ranlc::new(seed);
+    let k4 = max_key as f64 / 4.0;
+    (0..n)
+        .map(|_| {
+            let s = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+            (s * k4) as u32 % max_key
+        })
+        .collect()
+}
+
+/// Parallel counting sort: returns the sorted keys.
+pub fn sort(keys: &[u32], log2_max: u32, threads: usize) -> Vec<u32> {
+    let buckets = 1usize << log2_max;
+    let team = Team::new(threads);
+
+    // Per-thread histograms, merged after the count phase.
+    let histo = team.parallel_reduce(
+        0..keys.len(),
+        Schedule::Static { chunk: 0 },
+        vec![0u32; buckets],
+        |i, acc| acc[keys[i] as usize] += 1,
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    );
+
+    // Exclusive prefix sum, then scatter (serial: the scatter is a small
+    // fraction of the count phase and keeps the output stable).
+    let mut out = Vec::with_capacity(keys.len());
+    for (key, &count) in histo.iter().enumerate() {
+        out.extend(std::iter::repeat_n(key as u32, count as usize));
+    }
+    out
+}
+
+/// Full IS run: generate, sort, and verify. Returns the sorted keys.
+///
+/// # Panics
+/// Panics if verification fails — the sort is the benchmark's own
+/// correctness oracle.
+pub fn run(log2_n: u32, log2_max: u32, threads: usize) -> Vec<u32> {
+    let keys = generate_keys(log2_n, log2_max, crate::ep::SEED);
+    let sorted = sort(&keys, log2_max, threads);
+    verify(&keys, &sorted, log2_max);
+    sorted
+}
+
+/// NPB-style verification: sortedness plus permutation (via histogram
+/// equality).
+pub fn verify(original: &[u32], sorted: &[u32], log2_max: u32) {
+    assert_eq!(original.len(), sorted.len(), "length changed during sort");
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "output is not sorted"
+    );
+    let buckets = 1usize << log2_max;
+    let mut h0 = vec![0u32; buckets];
+    let mut h1 = vec![0u32; buckets];
+    for &k in original {
+        h0[k as usize] += 1;
+    }
+    for &k in sorted {
+        h1[k as usize] += 1;
+    }
+    assert_eq!(h0, h1, "output is not a permutation of the input");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_verifies_small_class() {
+        let sorted = run(14, 11, 4);
+        assert_eq!(sorted.len(), 1 << 14);
+    }
+
+    #[test]
+    fn parallel_thread_counts_agree() {
+        let keys = generate_keys(13, 10, 42);
+        let s1 = sort(&keys, 10, 1);
+        let s4 = sort(&keys, 10, 4);
+        let s7 = sort(&keys, 10, 7);
+        assert_eq!(s1, s4);
+        assert_eq!(s1, s7);
+    }
+
+    #[test]
+    fn key_distribution_is_center_heavy() {
+        // Average-of-four-uniforms: the middle half holds most keys.
+        let keys = generate_keys(15, 10, 7);
+        let mid = keys
+            .iter()
+            .filter(|&&k| (256..768).contains(&k))
+            .count();
+        assert!(
+            mid as f64 / keys.len() as f64 > 0.7,
+            "middle-band fraction {}",
+            mid as f64 / keys.len() as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn verify_rejects_unsorted_output() {
+        let orig = vec![3u32, 1, 2];
+        let bad = vec![3u32, 1, 2];
+        verify(&orig, &bad, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn verify_rejects_non_permutation() {
+        let orig = vec![3u32, 1, 2];
+        let bad = vec![1u32, 1, 2];
+        verify(&orig, &bad, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! LU — SSOR (symmetric successive over-relaxation) solver.
+//!
+//! NPB LU inverts its implicit operator with lower- and upper-triangular
+//! sweeps whose data dependence follows the i+j+k diagonal: every cell on
+//! one *hyperplane* is independent, but planes must be processed in
+//! order. We implement exactly that wavefront structure — parallel within
+//! a hyperplane, sequential across hyperplanes — which is why LU's
+//! parallel efficiency is the most fragile of the three
+//! pseudo-applications on many-thread machines.
+
+use maia_omp::Team;
+
+use crate::bt::{invert, matvec, Mat5, Vec5};
+use crate::class::{pseudo_app_params, Benchmark, Class};
+use crate::flow::{add_assign, residual, State5, CONVECT, COUPLING, NVAR};
+
+/// Relaxation factor.
+pub const OMEGA: f64 = 1.0;
+/// Pseudo-time step.
+pub const TAU: f64 = 0.8;
+
+/// Off-diagonal neighbor weight in the lower sweep (per direction).
+fn lower_weight() -> f64 {
+    TAU * (-1.0 - CONVECT / 2.0)
+}
+/// Off-diagonal neighbor weight in the upper sweep.
+fn upper_weight() -> f64 {
+    TAU * (-1.0 + CONVECT / 2.0)
+}
+
+/// Inverse of the 5×5 diagonal block of the SSOR iteration matrix.
+fn diag_inverse() -> Mat5 {
+    let mut d: Mat5 = [[0.0; NVAR]; NVAR];
+    for m in 0..NVAR {
+        d[m][m] = 1.0 + TAU * (6.0 + 0.5);
+        for l in 0..NVAR {
+            d[m][l] += TAU * COUPLING[m][l];
+        }
+    }
+    invert(&d)
+}
+
+/// The cells of hyperplane `h` (i+j+k == h) of an n³ grid.
+pub fn hyperplane_cells(n: usize, h: usize) -> Vec<(usize, usize, usize)> {
+    let mut cells = Vec::new();
+    for k in 0..n {
+        if h < k {
+            break;
+        }
+        let rem = h - k;
+        for j in 0..n.min(rem + 1) {
+            let i = rem - j;
+            if i < n {
+                cells.push((i, j, k));
+            }
+        }
+    }
+    cells
+}
+
+/// One triangular sweep over `delta` (in place): `forward` processes
+/// hyperplanes ascending using (i−1, j−1, k−1) neighbors; otherwise
+/// descending with (i+1, j+1, k+1).
+fn sweep(team: &Team, delta: &mut State5, forward: bool) {
+    let n = delta.n;
+    let dinv = diag_inverse();
+    let w = if forward { lower_weight() } else { upper_weight() };
+    let planes: Vec<usize> = if forward {
+        (0..=3 * (n - 1)).collect()
+    } else {
+        (0..=3 * (n - 1)).rev().collect()
+    };
+    for h in planes {
+        let cells = hyperplane_cells(n, h);
+        // Compute the plane's updates in parallel (reads touch only
+        // already-processed planes), then scatter serially.
+        let mut updates = vec![[0.0f64; NVAR]; cells.len()];
+        team.parallel_chunks(&mut updates, |start, chunk| {
+            for (off, out) in chunk.iter_mut().enumerate() {
+                let (i, j, k) = cells[start + off];
+                let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                let mut b: Vec5 = [0.0; NVAR];
+                for m in 0..NVAR {
+                    let neigh = if forward {
+                        delta.at(ii - 1, jj, kk, m)
+                            + delta.at(ii, jj - 1, kk, m)
+                            + delta.at(ii, jj, kk - 1, m)
+                    } else {
+                        delta.at(ii + 1, jj, kk, m)
+                            + delta.at(ii, jj + 1, kk, m)
+                            + delta.at(ii, jj, kk + 1, m)
+                    };
+                    b[m] = delta.at(ii, jj, kk, m) - w * neigh;
+                }
+                *out = matvec(&dinv, &b);
+            }
+        });
+        for (c, (i, j, k)) in cells.iter().enumerate() {
+            for m in 0..NVAR {
+                let idx = delta.idx(*i, *j, *k, m);
+                delta.data[idx] = updates[c][m];
+            }
+        }
+    }
+}
+
+/// Result of an LU run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuResult {
+    pub initial_rnorm: f64,
+    pub final_rnorm: f64,
+    pub steps: usize,
+}
+
+/// Run LU with explicit grid size and step count.
+pub fn run_custom(n: usize, steps: usize, threads: usize) -> LuResult {
+    let team = Team::new(threads);
+    let f = State5::forcing(n);
+    let mut u = State5::zeros(n);
+    let mut r = State5::zeros(n);
+    residual(&team, &u, &f, &mut r);
+    let initial_rnorm = r.norm();
+    for _ in 0..steps {
+        residual(&team, &u, &f, &mut r);
+        team.parallel_chunks(&mut r.data, |_s, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= TAU * OMEGA;
+            }
+        });
+        sweep(&team, &mut r, true);
+        sweep(&team, &mut r, false);
+        add_assign(&team, &mut u, &r);
+    }
+    residual(&team, &u, &f, &mut r);
+    LuResult {
+        initial_rnorm,
+        final_rnorm: r.norm(),
+        steps,
+    }
+}
+
+/// Class-parameterized run.
+pub fn run(class: Class, threads: usize) -> LuResult {
+    let (n, steps) = pseudo_app_params(Benchmark::Lu, class);
+    run_custom(n, steps, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperplanes_partition_the_grid() {
+        let n = 7;
+        let mut seen = vec![false; n * n * n];
+        for h in 0..=3 * (n - 1) {
+            for (i, j, k) in hyperplane_cells(n, h) {
+                assert_eq!(i + j + k, h);
+                let idx = (k * n + j) * n + i;
+                assert!(!seen[idx], "cell visited twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "cells missed");
+    }
+
+    #[test]
+    fn hyperplane_sizes_peak_in_the_middle() {
+        let n = 8;
+        let sizes: Vec<usize> = (0..=3 * (n - 1))
+            .map(|h| hyperplane_cells(n, h).len())
+            .collect();
+        assert_eq!(sizes[0], 1);
+        assert_eq!(*sizes.last().unwrap(), 1);
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > n, "wavefront never widens: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), n * n * n);
+    }
+
+    #[test]
+    fn residual_decreases_toward_steady_state() {
+        let r = run_custom(16, 80, 4);
+        assert!(
+            r.final_rnorm < 0.1 * r.initial_rnorm,
+            "LU failed to converge: {} -> {}",
+            r.initial_rnorm,
+            r.final_rnorm
+        );
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let a = run_custom(12, 4, 1);
+        let b = run_custom(12, 4, 6);
+        assert_eq!(a.final_rnorm.to_bits(), b.final_rnorm.to_bits());
+    }
+
+    #[test]
+    fn ssor_converges_about_as_well_as_adi() {
+        // The three pseudo-apps solve the same steady problem; LU's SSOR
+        // should land in the same ballpark as SP's ADI after equal steps.
+        let lu = run_custom(12, 15, 3);
+        let sp = crate::sp::run_custom(12, 15, 3);
+        let ratio = lu.final_rnorm / sp.final_rnorm;
+        assert!(
+            (0.001..1000.0).contains(&ratio),
+            "wildly different convergence: lu {} sp {}",
+            lu.final_rnorm,
+            sp.final_rnorm
+        );
+    }
+}

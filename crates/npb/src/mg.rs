@@ -1,0 +1,272 @@
+//! MG — V-cycle multigrid for a 3D periodic Poisson problem.
+//!
+//! The benchmark structure of NPB MG: a hierarchy of 3D grids (each
+//! coarser level halves every dimension), per cycle one V-pass of
+//! smoothing → residual → restriction down, and prolongation → smoothing
+//! up, with the residual's L2 norm as the verification quantity.
+//!
+//! Work-sharing splits the outermost (k) loop across threads; the
+//! [`run_custom`]'s `collapse` flag switches to the collapsed k×j space —
+//! the optimization the paper evaluates in Figure 24 (a big win on 236
+//! Phi threads where a 256-deep k loop leaves threads idle, a slight
+//! *loss* on the host).
+
+use maia_omp::{collapse2, Team};
+
+use crate::class::{mg_params, Class};
+use crate::ep::Ranlc;
+
+/// One cubic periodic grid of edge `n`.
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    pub n: usize,
+    pub data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Zero-filled grid.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "grid edge must be a power of two, got {n}");
+        Grid3 {
+            n,
+            data: vec![0.0; n * n * n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.n + j) * self.n + i
+    }
+
+    /// Value with periodic wrap-around.
+    #[inline]
+    pub fn at(&self, i: isize, j: isize, k: isize) -> f64 {
+        let n = self.n as isize;
+        let w = |x: isize| ((x % n + n) % n) as usize;
+        self.data[self.idx(w(i), w(j), w(k))]
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// 7-point Laplacian-style operator value at (i,j,k): `A u`.
+#[inline]
+fn apply_a(u: &Grid3, i: usize, j: usize, k: usize) -> f64 {
+    let (i, j, k) = (i as isize, j as isize, k as isize);
+    let c = u.at(i, j, k);
+    let s = u.at(i - 1, j, k)
+        + u.at(i + 1, j, k)
+        + u.at(i, j - 1, k)
+        + u.at(i, j + 1, k)
+        + u.at(i, j, k - 1)
+        + u.at(i, j, k + 1);
+    6.0 * c - s
+}
+
+/// Weighted-Jacobi smoothing sweep: `u ← u + ω D⁻¹ (v − A u)`.
+/// Jacobi (not Gauss–Seidel) keeps the result independent of thread
+/// count — parallel runs are bitwise equal to serial runs.
+fn smooth(team: &Team, u: &mut Grid3, v: &Grid3, collapse: bool) {
+    const OMEGA: f64 = 0.8;
+    let n = u.n;
+    let input = u.clone();
+    if collapse {
+        // Work-share the collapsed (k, j) space in n-sized rows.
+        team.parallel_chunks(&mut u.data, |start, chunk| {
+            debug_assert_eq!(start % 1, 0);
+            for (off, val) in chunk.iter_mut().enumerate() {
+                let flat = start + off;
+                let i = flat % n;
+                let (k, j) = collapse2(flat / n, n);
+                let r = v.at(i as isize, j as isize, k as isize)
+                    - apply_a(&input, i, j, k);
+                *val += OMEGA / 6.0 * r;
+            }
+        });
+    } else {
+        // Plane-chunked: the k loop only.
+        let plane = n * n;
+        team.parallel_chunks(&mut u.data, |start, chunk| {
+            for (off, val) in chunk.iter_mut().enumerate() {
+                let flat = start + off;
+                let i = flat % n;
+                let j = (flat / n) % n;
+                let k = flat / plane;
+                let r = v.at(i as isize, j as isize, k as isize)
+                    - apply_a(&input, i, j, k);
+                *val += OMEGA / 6.0 * r;
+            }
+        });
+    }
+}
+
+/// r = v − A u.
+fn residual(team: &Team, u: &Grid3, v: &Grid3, r: &mut Grid3) {
+    let n = u.n;
+    team.parallel_chunks(&mut r.data, |start, chunk| {
+        for (off, val) in chunk.iter_mut().enumerate() {
+            let flat = start + off;
+            let i = flat % n;
+            let j = (flat / n) % n;
+            let k = flat / (n * n);
+            *val = v.at(i as isize, j as isize, k as isize) - apply_a(u, i, j, k);
+        }
+    });
+}
+
+/// Full-weighting restriction to the half-resolution grid.
+fn restrict(team: &Team, fine: &Grid3, coarse: &mut Grid3) {
+    let nc = coarse.n;
+    team.parallel_chunks(&mut coarse.data, |start, chunk| {
+        for (off, val) in chunk.iter_mut().enumerate() {
+            let flat = start + off;
+            let i = flat % nc;
+            let j = (flat / nc) % nc;
+            let k = flat / (nc * nc);
+            let (fi, fj, fk) = (2 * i as isize, 2 * j as isize, 2 * k as isize);
+            // 8-cell average of the children.
+            let mut acc = 0.0;
+            for dk in 0..2 {
+                for dj in 0..2 {
+                    for di in 0..2 {
+                        acc += fine.at(fi + di, fj + dj, fk + dk);
+                    }
+                }
+            }
+            *val = acc / 8.0;
+        }
+    });
+}
+
+/// Piecewise-constant prolongation added into the fine grid.
+fn prolong_add(team: &Team, coarse: &Grid3, fine: &mut Grid3) {
+    let nf = fine.n;
+    team.parallel_chunks(&mut fine.data, |start, chunk| {
+        for (off, val) in chunk.iter_mut().enumerate() {
+            let flat = start + off;
+            let i = flat % nf;
+            let j = (flat / nf) % nf;
+            let k = flat / (nf * nf);
+            *val += coarse.at((i / 2) as isize, (j / 2) as isize, (k / 2) as isize);
+        }
+    });
+}
+
+fn v_cycle(team: &Team, u: &mut Grid3, v: &Grid3, collapse: bool) {
+    smooth(team, u, v, collapse);
+    smooth(team, u, v, collapse);
+    if u.n > 4 {
+        let mut r = Grid3::zeros(u.n);
+        residual(team, u, v, &mut r);
+        let mut rc = Grid3::zeros(u.n / 2);
+        restrict(team, &r, &mut rc);
+        let mut ec = Grid3::zeros(u.n / 2);
+        v_cycle(team, &mut ec, &rc, collapse);
+        prolong_add(team, &ec, u);
+    }
+    smooth(team, u, v, collapse);
+}
+
+/// MG run result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgResult {
+    pub initial_rnorm: f64,
+    pub final_rnorm: f64,
+    pub cycles: usize,
+}
+
+/// Build the NPB-style right-hand side: ±1 spikes at pseudorandom sites.
+pub fn make_rhs(n: usize, spikes: usize, seed: u64) -> Grid3 {
+    let mut v = Grid3::zeros(n);
+    let mut rng = Ranlc::new(seed);
+    for s in 0..spikes {
+        let i = (rng.next_f64() * n as f64) as usize % n;
+        let j = (rng.next_f64() * n as f64) as usize % n;
+        let k = (rng.next_f64() * n as f64) as usize % n;
+        let idx = (k * n + j) * n + i;
+        v.data[idx] = if s % 2 == 0 { 1.0 } else { -1.0 };
+    }
+    v
+}
+
+/// Run MG with explicit parameters.
+pub fn run_custom(n: usize, cycles: usize, threads: usize, collapse: bool) -> MgResult {
+    let team = Team::new(threads);
+    let v = make_rhs(n, 20, crate::ep::SEED);
+    let mut u = Grid3::zeros(n);
+    let mut r = Grid3::zeros(n);
+    residual(&team, &u, &v, &mut r);
+    let initial_rnorm = r.norm();
+    for _ in 0..cycles {
+        v_cycle(&team, &mut u, &v, collapse);
+    }
+    residual(&team, &u, &v, &mut r);
+    MgResult {
+        initial_rnorm,
+        final_rnorm: r.norm(),
+        cycles,
+    }
+}
+
+/// Run the class-parameterized benchmark.
+pub fn run(class: Class, threads: usize, collapse: bool) -> MgResult {
+    let (n, cycles) = mg_params(class);
+    run_custom(n, cycles, threads, collapse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_drops_every_cycle() {
+        let r1 = run_custom(32, 1, 2, false);
+        let r4 = run_custom(32, 4, 2, false);
+        assert!(r1.final_rnorm < 0.5 * r1.initial_rnorm, "one cycle too weak");
+        assert!(r4.final_rnorm < 0.1 * r4.initial_rnorm, "four cycles too weak");
+        assert!(r4.final_rnorm < r1.final_rnorm);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_answer() {
+        let a = run_custom(16, 3, 1, false);
+        let b = run_custom(16, 3, 5, false);
+        assert_eq!(a.final_rnorm.to_bits(), b.final_rnorm.to_bits());
+    }
+
+    #[test]
+    fn collapse_is_numerically_identical() {
+        let plain = run_custom(16, 3, 4, false);
+        let coll = run_custom(16, 3, 4, true);
+        assert_eq!(plain.final_rnorm.to_bits(), coll.final_rnorm.to_bits());
+    }
+
+    #[test]
+    fn class_s_converges() {
+        let r = run(Class::S, 4, false);
+        assert!(
+            r.final_rnorm < 5e-2 * r.initial_rnorm,
+            "class S: {} -> {}",
+            r.initial_rnorm,
+            r.final_rnorm
+        );
+    }
+
+    #[test]
+    fn periodic_wraparound_indices() {
+        let mut g = Grid3::zeros(4);
+        g.data[0] = 7.0; // (0,0,0)
+        assert_eq!(g.at(-1 + 1, 0, 0), 7.0);
+        assert_eq!(g.at(4, 0, 0), 7.0);
+        assert_eq!(g.at(-4, 4, 8), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Grid3::zeros(12);
+    }
+}

@@ -1,0 +1,448 @@
+//! Distributed-memory NPB variants running over the simulated MPI.
+//!
+//! These are the "MPI versions" of the paper's Figure 20: real
+//! decomposed algorithms whose messages carry actual data through
+//! `maia-mpi`'s payload API, so the numerics are verifiable against the
+//! shared-memory kernels while the discrete-event engine accounts the
+//! communication time on the modeled fabric (host shared memory, Phi
+//! ring, or PCIe in symmetric layouts).
+//!
+//! * [`ep_mpi`] — batch distribution + allreduce of the sums/counts.
+//! * [`cg_mpi`] — row-block SpMV with replicated vectors (allgather per
+//!   iteration, allreduce for dot products), NPB CG's communication
+//!   pattern.
+//! * [`ft_mpi`] — slab-decomposed 3D FFT: local x/y transforms, an
+//!   all-to-all transpose for the z dimension — the transpose that
+//!   makes FT the paper's communication stress test.
+//! * [`is_mpi`] — local histogramming + allreduce, the counting-sort
+//!   exchange.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use maia_mpi::{MpiWorld, Rank, WorldSpec};
+use maia_sim::SimDuration;
+
+use crate::cg::{make_matrix, SparseMatrix};
+use crate::ep::{run_batch, EpResult};
+use crate::ft::{fft_line, Complex, Field};
+
+/// A distributed run's outcome: the computed result plus the virtual
+/// wall time of the whole world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpiRun<T> {
+    pub result: T,
+    /// Virtual seconds from start to the last rank's completion.
+    pub wall_s: f64,
+}
+
+/// Modeled compute cost injected per flop on a rank (the DES only sees
+/// communication otherwise). Coarse: enough to order compute-heavy vs
+/// communication-heavy phases.
+fn flop_cost(rank: &Rank, flops: f64) -> SimDuration {
+    let per_core_gflops = if rank.placement().device.is_phi() {
+        1.0
+    } else {
+        4.0
+    };
+    SimDuration::from_secs_f64(flops / (per_core_gflops * 1e9))
+}
+
+/// Distributed EP: batches are dealt round-robin to ranks; the Gaussian
+/// sums and annulus counts are combined with a data-carrying allreduce.
+pub fn ep_mpi(log2_pairs: u32, spec: &WorldSpec) -> MpiRun<EpResult> {
+    let batch_log2 = 16u32.min(log2_pairs);
+    let batch_pairs = 1u64 << batch_log2;
+    let batches = (1u64 << log2_pairs) / batch_pairs;
+    let out: Arc<Mutex<Option<EpResult>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+
+    let res = MpiWorld::run(spec, move |rank| {
+        let me = rank.rank() as u64;
+        let p = rank.size() as u64;
+        let mut local = EpResult {
+            sx: 0.0,
+            sy: 0.0,
+            q: [0; 10],
+            accepted: 0,
+            pairs: 0,
+        };
+        let mut k = me;
+        while k < batches {
+            let r = run_batch(k, batch_pairs);
+            local.sx += r.sx;
+            local.sy += r.sy;
+            for (a, b) in local.q.iter_mut().zip(r.q) {
+                *a += b;
+            }
+            local.accepted += r.accepted;
+            local.pairs += r.pairs;
+            k += p;
+        }
+        // ~60 flops per generated pair.
+        let t = flop_cost(rank, local.pairs as f64 * 60.0);
+        rank.compute(t);
+
+        // Pack into f64s (counts < 2^53, exact) and reduce.
+        let mut buf = vec![local.sx, local.sy, local.accepted as f64, local.pairs as f64];
+        buf.extend(local.q.iter().map(|&c| c as f64));
+        rank.allreduce_sum_data(&mut buf);
+        if rank.rank() == 0 {
+            let mut q = [0u64; 10];
+            for (i, qi) in q.iter_mut().enumerate() {
+                *qi = buf[4 + i] as u64;
+            }
+            *out2.lock() = Some(EpResult {
+                sx: buf[0],
+                sy: buf[1],
+                accepted: buf[2] as u64,
+                pairs: buf[3] as u64,
+                q,
+            });
+        }
+    })
+    .expect("EP world deadlocked");
+
+    MpiRun {
+        result: { let mut guard = out.lock(); guard.take().expect("rank 0 stored the result") },
+        wall_s: res.end_time.as_secs_f64(),
+    }
+}
+
+/// Distributed CG: every rank owns a block of matrix rows; the direction
+/// vector is re-replicated by an allgather each inner iteration and dot
+/// products reduce globally. Returns the eigenvalue estimate `zeta`.
+pub fn cg_mpi(
+    n: usize,
+    nz_per_row: usize,
+    niter: usize,
+    shift: f64,
+    spec: &WorldSpec,
+) -> MpiRun<f64> {
+    let out: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let res = MpiWorld::run(spec, move |rank| {
+        let p = rank.size();
+        let me = rank.rank();
+        // Deterministic replicated build; each rank uses only its rows.
+        let a: SparseMatrix = make_matrix(n, nz_per_row, crate::ep::SEED);
+        let lo = n * me / p;
+        let hi = n * (me + 1) / p;
+
+        let spmv_rows = |x: &[f64], out: &mut Vec<f64>| {
+            out.clear();
+            for row in lo..hi {
+                let mut acc = 0.0;
+                for idx in a.row_ptr[row]..a.row_ptr[row + 1] {
+                    acc += a.val[idx] * x[a.col[idx] as usize];
+                }
+                out.push(acc);
+            }
+        };
+        let dot_local = |u: &[f64], v: &[f64]| -> f64 {
+            u.iter().zip(v).map(|(a, b)| a * b).sum()
+        };
+        let nnz_local = a.row_ptr[hi] - a.row_ptr[lo];
+
+        let mut x = vec![1.0f64; n];
+        let mut zeta = 0.0;
+        for _ in 0..niter {
+            // Inner CG solve of A z = x, vectors split into [lo, hi).
+            let mut zl = vec![0.0f64; hi - lo];
+            let mut rl: Vec<f64> = x[lo..hi].to_vec();
+            let mut pfull = x.clone();
+            let mut rho = {
+                let mut b = vec![dot_local(&rl, &rl)];
+                rank.allreduce_sum_data(&mut b);
+                b[0]
+            };
+            let mut ql = Vec::with_capacity(hi - lo);
+            for _ in 0..25 {
+                spmv_rows(&pfull, &mut ql);
+                rank.compute(flop_cost(rank, 2.0 * nnz_local as f64));
+                let pq = {
+                    let mut b = vec![dot_local(&pfull[lo..hi], &ql)];
+                    rank.allreduce_sum_data(&mut b);
+                    b[0]
+                };
+                let alpha = rho / pq;
+                for i in 0..hi - lo {
+                    zl[i] += alpha * pfull[lo + i];
+                    rl[i] -= alpha * ql[i];
+                }
+                let rho_new = {
+                    let mut b = vec![dot_local(&rl, &rl)];
+                    rank.allreduce_sum_data(&mut b);
+                    b[0]
+                };
+                let beta = rho_new / rho;
+                rho = rho_new;
+                let pl: Vec<f64> = (0..hi - lo)
+                    .map(|i| rl[i] + beta * pfull[lo + i])
+                    .collect();
+                // Re-replicate the direction vector.
+                let blocks = rank.allgather_data(&pl);
+                pfull = blocks.concat();
+            }
+            // zeta = shift + 1 / (x . z), then x = z / ||z||.
+            let xz_zz = {
+                let mut b = vec![dot_local(&x[lo..hi], &zl), dot_local(&zl, &zl)];
+                rank.allreduce_sum_data(&mut b);
+                b
+            };
+            zeta = shift + 1.0 / xz_zz[0];
+            let norm = xz_zz[1].sqrt();
+            let xl: Vec<f64> = zl.iter().map(|v| v / norm).collect();
+            let blocks = rank.allgather_data(&xl);
+            x = blocks.concat();
+        }
+        if me == 0 {
+            *out2.lock() = Some(zeta);
+        }
+    })
+    .expect("CG world deadlocked");
+    MpiRun {
+        result: { let mut guard = out.lock(); guard.take().expect("rank 0 stored zeta") },
+        wall_s: res.end_time.as_secs_f64(),
+    }
+}
+
+/// Distributed FT: z-slab decomposition. Each rank transforms x and y
+/// lines inside its slab, then the slabs transpose (all-to-all) so the z
+/// dimension becomes local, is transformed, and transposes back.
+/// Returns the spectrum's checksum after one forward transform.
+pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Complex> {
+    let p = spec.size();
+    assert!(nz % p == 0 && nx % p == 0, "slab decomposition needs p | nz and p | nx");
+    let out: Arc<Mutex<Option<Complex>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+
+    let res = MpiWorld::run(spec, move |rank| {
+        let me = rank.rank();
+        let zloc = nz / p;
+        let z0 = me * zloc;
+        // Build this rank's slab from the same deterministic field.
+        let full = Field::random(nx, ny, nz, crate::ep::SEED);
+        let mut slab: Vec<Complex> =
+            full.data[z0 * nx * ny..(z0 + zloc) * nx * ny].to_vec();
+
+        // FFT along x: contiguous lines.
+        for line in slab.chunks_mut(nx) {
+            fft_line(line, false);
+        }
+        // FFT along y: gather strided lines within the slab.
+        let mut scratch = vec![Complex::ZERO; ny];
+        for k in 0..zloc {
+            for i in 0..nx {
+                for j in 0..ny {
+                    scratch[j] = slab[(k * ny + j) * nx + i];
+                }
+                fft_line(&mut scratch, false);
+                for j in 0..ny {
+                    slab[(k * ny + j) * nx + i] = scratch[j];
+                }
+            }
+        }
+        rank.compute(flop_cost(
+            rank,
+            5.0 * (zloc * nx * ny) as f64 * ((nx * ny) as f64).log2(),
+        ));
+
+        // Transpose x<->z: block for destination d holds x in d's range.
+        let xloc = nx / p;
+        let blocks: Vec<Vec<f64>> = (0..p)
+            .map(|d| {
+                let mut b = Vec::with_capacity(zloc * ny * xloc * 2);
+                for k in 0..zloc {
+                    for j in 0..ny {
+                        for i in d * xloc..(d + 1) * xloc {
+                            let c = slab[(k * ny + j) * nx + i];
+                            b.push(c.re);
+                            b.push(c.im);
+                        }
+                    }
+                }
+                b
+            })
+            .collect();
+        let got = rank.alltoall_data(blocks);
+
+        // Reassemble as x-pencils: for each (i_local, j), a full z line.
+        let mut zline = vec![Complex::ZERO; nz];
+        let mut checksum_acc = Complex::ZERO;
+        let mut pencil = vec![Complex::ZERO; xloc * ny * nz];
+        for (src, b) in got.iter().enumerate() {
+            // Source slab owned z in [src*zloc, (src+1)*zloc).
+            let mut it = b.chunks_exact(2);
+            for kk in 0..zloc {
+                for j in 0..ny {
+                    for il in 0..xloc {
+                        let c = it.next().expect("block size mismatch");
+                        pencil[(il * ny + j) * nz + src * zloc + kk] =
+                            Complex::new(c[0], c[1]);
+                    }
+                }
+            }
+        }
+        for il in 0..xloc {
+            for j in 0..ny {
+                zline.copy_from_slice(&pencil[(il * ny + j) * nz..(il * ny + j + 1) * nz]);
+                fft_line(&mut zline, false);
+                pencil[(il * ny + j) * nz..(il * ny + j + 1) * nz].copy_from_slice(&zline);
+            }
+        }
+        rank.compute(flop_cost(
+            rank,
+            5.0 * (xloc * ny * nz) as f64 * (nz as f64).log2(),
+        ));
+
+        // Checksum over the same strided samples as Field::checksum,
+        // each contributed by the rank owning that x index.
+        for s in 1..=1024usize {
+            let i = s % nx;
+            let j = (3 * s) % ny;
+            let k = (5 * s) % nz;
+            if i / xloc == me {
+                let c = pencil[((i % xloc) * ny + j) * nz + k];
+                checksum_acc = checksum_acc.add(c);
+            }
+        }
+        let mut buf = vec![checksum_acc.re, checksum_acc.im];
+        rank.allreduce_sum_data(&mut buf);
+        if me == 0 {
+            *out2.lock() = Some(Complex::new(buf[0] / 1024.0, buf[1] / 1024.0));
+        }
+    })
+    .expect("FT world deadlocked");
+
+    MpiRun {
+        result: { let mut guard = out.lock(); guard.take().expect("rank 0 stored the checksum") },
+        wall_s: res.end_time.as_secs_f64(),
+    }
+}
+
+/// Distributed IS: each rank histograms its key range; histograms reduce
+/// globally; rank 0 materializes the sorted sequence. Returns the sorted
+/// keys.
+pub fn is_mpi(log2_n: u32, log2_max: u32, spec: &WorldSpec) -> MpiRun<Vec<u32>> {
+    let out: Arc<Mutex<Option<Vec<u32>>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let res = MpiWorld::run(spec, move |rank| {
+        let p = rank.size();
+        let me = rank.rank();
+        let keys = crate::is::generate_keys(log2_n, log2_max, crate::ep::SEED);
+        let lo = keys.len() * me / p;
+        let hi = keys.len() * (me + 1) / p;
+        let buckets = 1usize << log2_max;
+        let mut histo = vec![0.0f64; buckets];
+        for &k in &keys[lo..hi] {
+            histo[k as usize] += 1.0;
+        }
+        rank.compute(flop_cost(rank, (hi - lo) as f64 * 4.0));
+        rank.allreduce_sum_data(&mut histo);
+        if me == 0 {
+            let mut sorted = Vec::with_capacity(keys.len());
+            for (key, &count) in histo.iter().enumerate() {
+                sorted.extend(std::iter::repeat_n(key as u32, count as usize));
+            }
+            crate::is::verify(&keys, &sorted, log2_max);
+            *out2.lock() = Some(sorted);
+        }
+    })
+    .expect("IS world deadlocked");
+    MpiRun {
+        result: { let mut guard = out.lock(); guard.take().expect("rank 0 stored the sort") },
+        wall_s: res.end_time.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maia_arch::Device;
+    use maia_interconnect::SoftwareStack;
+
+    #[test]
+    fn ep_mpi_matches_shared_memory_exactly() {
+        let reference = crate::ep::run(18, 2);
+        let spec = WorldSpec::all_on(Device::Host, 4);
+        let dist = ep_mpi(18, &spec);
+        assert_eq!(dist.result.q, reference.q);
+        assert_eq!(dist.result.accepted, reference.accepted);
+        assert!((dist.result.sx - reference.sx).abs() < 1e-9);
+        assert!((dist.result.sy - reference.sy).abs() < 1e-9);
+        assert!(dist.wall_s > 0.0);
+    }
+
+    #[test]
+    fn cg_mpi_matches_shared_memory_zeta() {
+        let reference = crate::cg::run_custom(600, 5, 5, 10.0, 2);
+        let spec = WorldSpec::all_on(Device::Host, 4);
+        let dist = cg_mpi(600, 5, 5, 10.0, &spec);
+        assert!(
+            (dist.result - reference.zeta).abs() < 1e-8,
+            "distributed zeta {} vs shared {}",
+            dist.result,
+            reference.zeta
+        );
+    }
+
+    #[test]
+    fn ft_mpi_matches_shared_memory_spectrum() {
+        // Reference: forward 3D FFT checksum via the shared-memory path.
+        let team = maia_omp::Team::new(2);
+        let f = Field::random(16, 16, 16, crate::ep::SEED);
+        let spec_field = f.fft3d(&team, false);
+        let reference = spec_field.checksum();
+
+        let spec = WorldSpec::all_on(Device::Host, 4);
+        let dist = ft_mpi(16, 16, 16, &spec);
+        assert!(
+            (dist.result.re - reference.re).abs() < 1e-9
+                && (dist.result.im - reference.im).abs() < 1e-9,
+            "distributed {:?} vs shared {:?}",
+            dist.result,
+            reference
+        );
+    }
+
+    #[test]
+    fn is_mpi_sorts() {
+        let spec = WorldSpec::all_on(Device::Host, 3);
+        let dist = is_mpi(12, 9, &spec);
+        assert_eq!(dist.result.len(), 1 << 12);
+        assert!(dist.result.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn phi_world_is_slower_than_host_world() {
+        let host = ep_mpi(18, &WorldSpec::all_on(Device::Host, 8));
+        let phi = ep_mpi(18, &WorldSpec::all_on(Device::Phi0, 8));
+        assert!(
+            phi.wall_s > host.wall_s,
+            "phi {} vs host {}",
+            phi.wall_s,
+            host.wall_s
+        );
+    }
+
+    #[test]
+    fn symmetric_ft_crosses_pcie() {
+        // FT's all-to-all over a host+phi layout pays PCIe costs: much
+        // slower than the all-host layout.
+        let host = ft_mpi(16, 16, 16, &WorldSpec::all_on(Device::Host, 4));
+        let sym = ft_mpi(
+            16,
+            16,
+            16,
+            &WorldSpec::symmetric(2, 1, SoftwareStack::PostUpdate),
+        );
+        assert!(
+            sym.wall_s > 2.0 * host.wall_s,
+            "symmetric {} vs host {}",
+            sym.wall_s,
+            host.wall_s
+        );
+    }
+}

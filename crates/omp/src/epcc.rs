@@ -1,0 +1,202 @@
+//! EPCC-style measurement of *this* runtime's construct overheads on the
+//! build machine.
+//!
+//! Follows the paper's Section 3.4 definition: run a delay kernel `reps`
+//! times sequentially (time `Ts`), run the same per-thread work wrapped in
+//! the construct on `p` threads (time `Tp`), and report
+//! `overhead = (Tp − Ts) / reps` per construct execution. These numbers
+//! characterize the machine the tests run on — the *figures* use the
+//! calibrated [`crate::model`] — but they let us check that the measured
+//! orderings of our own runtime match the modeled orderings.
+
+use std::hint::black_box;
+use std::sync::atomic::AtomicU64;
+use std::time::Instant;
+
+use crate::model::OmpConstruct;
+use crate::schedule::Schedule;
+use crate::team::{atomic_add_f64, Team};
+
+/// Measurement harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EpccHarness {
+    /// Threads in the team under test.
+    pub threads: usize,
+    /// Construct executions per timed sample.
+    pub reps: usize,
+    /// Delay-kernel iterations per construct execution.
+    pub delay: usize,
+}
+
+impl Default for EpccHarness {
+    fn default() -> Self {
+        EpccHarness {
+            threads: 4,
+            reps: 200,
+            delay: 200,
+        }
+    }
+}
+
+/// The EPCC delay kernel: opaque floating-point work the optimizer cannot
+/// remove.
+#[inline]
+fn delay_kernel(n: usize) -> f64 {
+    let mut a = 0.0f64;
+    for i in 0..n {
+        a += black_box(i as f64 * 1e-9);
+    }
+    black_box(a)
+}
+
+impl EpccHarness {
+    /// Sequential reference time for `reps` delay executions, seconds.
+    fn reference_s(&self) -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..self.reps {
+            black_box(delay_kernel(self.delay));
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Measure the per-execution overhead of `construct`, microseconds.
+    pub fn measure(&self, construct: OmpConstruct) -> f64 {
+        let team = Team::new(self.threads);
+        let ts = self.reference_s();
+        let reps = self.reps;
+        let delay = self.delay;
+
+        let t0 = Instant::now();
+        match construct {
+            OmpConstruct::Parallel => {
+                for _ in 0..reps {
+                    team.parallel(|_ctx| {
+                        black_box(delay_kernel(delay));
+                    });
+                }
+            }
+            OmpConstruct::ParallelFor => {
+                for _ in 0..reps {
+                    team.parallel_for(0..self.threads, Schedule::static_default(), |_i| {
+                        black_box(delay_kernel(delay));
+                    });
+                }
+            }
+            OmpConstruct::For => {
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        for _i in ctx.my_block(self.threads) {
+                            black_box(delay_kernel(delay));
+                        }
+                        ctx.barrier();
+                    }
+                });
+            }
+            OmpConstruct::Barrier => {
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        black_box(delay_kernel(delay));
+                        ctx.barrier();
+                    }
+                });
+            }
+            OmpConstruct::Single => {
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        ctx.single(|| black_box(delay_kernel(delay)));
+                    }
+                });
+            }
+            OmpConstruct::Critical => {
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        ctx.critical(|| black_box(delay_kernel(delay)));
+                    }
+                });
+            }
+            OmpConstruct::LockUnlock => {
+                // Our runtime's lock is the critical mutex taken explicitly.
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        ctx.critical(|| black_box(delay_kernel(delay)));
+                    }
+                });
+            }
+            OmpConstruct::Ordered => {
+                team.parallel(|ctx| {
+                    for _ in 0..reps {
+                        ctx.ordered(|| black_box(delay_kernel(delay)));
+                    }
+                });
+            }
+            OmpConstruct::Atomic => {
+                let acc = AtomicU64::new(0f64.to_bits());
+                team.parallel(|_ctx| {
+                    for _ in 0..reps {
+                        black_box(delay_kernel(delay));
+                        atomic_add_f64(&acc, 1.0);
+                    }
+                });
+                black_box(f64::from_bits(
+                    acc.load(std::sync::atomic::Ordering::SeqCst),
+                ));
+            }
+            OmpConstruct::Reduction => {
+                for _ in 0..reps {
+                    let s = team.parallel_reduce(
+                        0..self.threads,
+                        Schedule::static_default(),
+                        0.0f64,
+                        |_i, acc| *acc += black_box(delay_kernel(delay)),
+                        |a, b| a + b,
+                    );
+                    black_box(s);
+                }
+            }
+        }
+        let tp = t0.elapsed().as_secs_f64();
+
+        // Overhead per construct execution. Constructs where each thread
+        // does the full delay work per rep compare against Ts (per-thread
+        // reference equals the sequential reference).
+        ((tp - ts) / reps as f64 * 1e6).max(0.0)
+    }
+
+    /// Measure all constructs; returns (construct, overhead µs) pairs.
+    pub fn measure_all(&self) -> Vec<(OmpConstruct, f64)> {
+        OmpConstruct::ALL
+            .iter()
+            .map(|&c| (c, self.measure(c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_finite_and_bounded() {
+        let h = EpccHarness {
+            threads: 2,
+            reps: 20,
+            delay: 50,
+        };
+        for (c, us) in h.measure_all() {
+            assert!(us.is_finite(), "{} overhead not finite", c.label());
+            assert!(us < 1e6, "{} overhead implausibly large: {us} µs", c.label());
+        }
+    }
+
+    #[test]
+    fn delay_kernel_scales_with_length() {
+        // Guards against the kernel being optimized away entirely.
+        let t0 = Instant::now();
+        black_box(delay_kernel(2_000_000));
+        let long = t0.elapsed();
+        let t0 = Instant::now();
+        black_box(delay_kernel(100));
+        let short = t0.elapsed();
+        assert!(long > short);
+    }
+}

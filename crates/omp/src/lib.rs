@@ -1,0 +1,30 @@
+//! # maia-omp — an OpenMP-style work-sharing runtime and its overhead model
+//!
+//! The paper measures OpenMP construct overheads (EPCC methodology) on the
+//! host and the Phi (Figures 15–16) and runs OpenMP versions of the NPBs
+//! and Cart3D. This crate supplies both sides of that story:
+//!
+//! * **A real runtime** — [`Team`] executes parallel regions, work-shared
+//!   loops with static/dynamic/guided scheduling ([`schedule`]), collapse
+//!   ([`loops`]), reductions, and the synchronization constructs
+//!   (barrier/critical/single/atomic/ordered/locks in [`team`]). The NPB
+//!   kernels in `maia-npb` run on it for real.
+//! * **An EPCC measurement harness** ([`epcc`]) that measures *this*
+//!   runtime's construct overheads on the build machine using the
+//!   `overhead = Tp − Ts/p` formula of the paper's Section 6.5.
+//! * **A calibrated overhead model** ([`model`]) that predicts construct
+//!   overheads on the simulated Sandy Bridge and Phi, reproducing the
+//!   Figure 15/16 orderings and the ~10× host/Phi gap.
+
+pub mod epcc;
+pub mod loops;
+pub mod model;
+pub mod schedule;
+pub mod sync;
+pub mod team;
+
+pub use loops::{collapse2, collapse3, LoopState};
+pub use model::{OmpConstruct, OverheadModel};
+pub use schedule::Schedule;
+pub use sync::OmpLock;
+pub use team::{atomic_add_f64, block_partition, Team, ThreadCtx};

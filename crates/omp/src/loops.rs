@@ -1,0 +1,212 @@
+//! Work-shared loops: scheduling state and collapse helpers.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::schedule::Schedule;
+
+/// Shared dispatch state for one work-shared loop instance.
+///
+/// Created once (outside or by `Team::parallel_for`) and consumed by one
+/// traversal per thread. Static schedules are stateless; dynamic and
+/// guided schedules pull chunks from the shared `next` counter.
+pub struct LoopState {
+    start: usize,
+    end: usize,
+    sched: Schedule,
+    next: AtomicUsize,
+}
+
+impl LoopState {
+    /// Describe a loop over `range` under `sched`.
+    pub fn new(range: Range<usize>, sched: Schedule) -> Self {
+        LoopState {
+            start: range.start,
+            end: range.end,
+            sched,
+            next: AtomicUsize::new(range.start),
+        }
+    }
+
+    /// Total iterations.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the loop is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Run this thread's share, invoking `body` per owned index.
+    pub fn run(&self, id: usize, n_threads: usize, mut body: impl FnMut(usize)) {
+        match self.sched {
+            Schedule::Static { chunk } => {
+                if chunk == 0 {
+                    let len = self.len();
+                    let blk = crate::team::block_partition(len, n_threads, id);
+                    for i in blk {
+                        body(self.start + i);
+                    }
+                } else {
+                    // Round-robin chunks of fixed size.
+                    let mut base = self.start + id * chunk;
+                    while base < self.end {
+                        let hi = (base + chunk).min(self.end);
+                        for i in base..hi {
+                            body(i);
+                        }
+                        base += n_threads * chunk;
+                    }
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                loop {
+                    let base = self.next.fetch_add(chunk, Ordering::AcqRel);
+                    if base >= self.end {
+                        break;
+                    }
+                    let hi = (base + chunk).min(self.end);
+                    for i in base..hi {
+                        body(i);
+                    }
+                }
+            }
+            Schedule::Guided { min_chunk } => {
+                let min_chunk = min_chunk.max(1);
+                loop {
+                    let mut cur = self.next.load(Ordering::Acquire);
+                    let take = loop {
+                        if cur >= self.end {
+                            return;
+                        }
+                        let remaining = self.end - cur;
+                        let take = (remaining / n_threads).max(min_chunk).min(remaining);
+                        match self.next.compare_exchange_weak(
+                            cur,
+                            cur + take,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => break take,
+                            Err(actual) => cur = actual,
+                        }
+                    };
+                    let base = cur;
+                    for i in base..base + take {
+                        body(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flatten a 2-deep loop nest (`collapse(2)`): maps a flat index over
+/// `n1 * n2` back to `(i, j)`.
+#[inline]
+pub fn collapse2(flat: usize, n2: usize) -> (usize, usize) {
+    debug_assert!(n2 > 0);
+    (flat / n2, flat % n2)
+}
+
+/// Flatten a 3-deep loop nest (`collapse(3)`): maps a flat index over
+/// `n1 * n2 * n3` back to `(i, j, k)`.
+#[inline]
+pub fn collapse3(flat: usize, n2: usize, n3: usize) -> (usize, usize, usize) {
+    debug_assert!(n2 > 0 && n3 > 0);
+    let i = flat / (n2 * n3);
+    let rem = flat % (n2 * n3);
+    (i, rem / n3, rem % n3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+    use parking_lot::Mutex;
+
+    fn run_and_collect(n: usize, threads: usize, sched: Schedule) -> Vec<usize> {
+        let team = Team::new(threads);
+        let seen = Mutex::new(Vec::new());
+        team.parallel_for(0..n, sched, |i| {
+            seen.lock().push(i);
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn every_schedule_covers_every_index_exactly_once() {
+        let expect: Vec<usize> = (0..1000).collect();
+        for sched in [
+            Schedule::static_default(),
+            Schedule::Static { chunk: 7 },
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 13 },
+            Schedule::Guided { min_chunk: 1 },
+            Schedule::Guided { min_chunk: 8 },
+        ] {
+            assert_eq!(
+                run_and_collect(1000, 6, sched),
+                expect,
+                "coverage failure for {sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_loop_is_a_noop() {
+        for sched in [
+            Schedule::static_default(),
+            Schedule::Dynamic { chunk: 4 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            assert!(run_and_collect(0, 4, sched).is_empty());
+        }
+    }
+
+    #[test]
+    fn nonzero_range_start_respected() {
+        let team = Team::new(3);
+        let seen = Mutex::new(Vec::new());
+        team.parallel_for(100..110, Schedule::Dynamic { chunk: 2 }, |i| {
+            seen.lock().push(i);
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_chunked_round_robin_assignment() {
+        // With 2 threads and chunk 2 over 0..8: t0 gets {0,1,4,5}.
+        let state = LoopState::new(0..8, Schedule::Static { chunk: 2 });
+        let mut mine = Vec::new();
+        state.run(0, 2, |i| mine.push(i));
+        assert_eq!(mine, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn collapse_round_trips() {
+        let (n1, n2, n3) = (4, 5, 6);
+        let mut seen2 = vec![false; n1 * n2];
+        for flat in 0..n1 * n2 {
+            let (i, j) = collapse2(flat, n2);
+            assert!(i < n1 && j < n2);
+            assert!(!seen2[i * n2 + j]);
+            seen2[i * n2 + j] = true;
+        }
+        let mut seen3 = vec![false; n1 * n2 * n3];
+        for flat in 0..n1 * n2 * n3 {
+            let (i, j, k) = collapse3(flat, n2, n3);
+            assert!(i < n1 && j < n2 && k < n3);
+            let idx = (i * n2 + j) * n3 + k;
+            assert!(!seen3[idx]);
+            seen3[idx] = true;
+        }
+        assert!(seen2.iter().all(|&b| b) && seen3.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,213 @@
+//! Calibrated model of OpenMP construct overheads on the simulated host
+//! and Phi (paper Figures 15 and 16).
+//!
+//! Mechanism: every synchronization construct is built from contended
+//! cache-line transfers. The cost of one such transfer (the "sync
+//! quantum") is the processor's unloaded memory latency — 81 ns on the
+//! host, 295 ns on the Phi — inflated by 1.5× on in-order cores, which
+//! cannot overlap the coherence miss with other work. Construct costs are
+//! then small multiples of the quantum, with tree-structured operations
+//! (barrier, fork/join) scaling as log₂(threads) and reductions adding a
+//! serial combine term linear in the thread count. The Phi's ~10× higher
+//! overheads (Figure 15) emerge from the larger quantum × deeper tree.
+
+use maia_arch::{ExecutionStyle, ProcessorSpec};
+
+use crate::schedule::Schedule;
+
+/// The constructs measured by the paper's synchronization benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmpConstruct {
+    Parallel,
+    ParallelFor,
+    For,
+    Barrier,
+    Single,
+    Critical,
+    LockUnlock,
+    Ordered,
+    Atomic,
+    Reduction,
+}
+
+impl OmpConstruct {
+    /// All constructs in the order Figure 15 lists them.
+    pub const ALL: [OmpConstruct; 10] = [
+        OmpConstruct::Parallel,
+        OmpConstruct::ParallelFor,
+        OmpConstruct::For,
+        OmpConstruct::Barrier,
+        OmpConstruct::Single,
+        OmpConstruct::Critical,
+        OmpConstruct::LockUnlock,
+        OmpConstruct::Ordered,
+        OmpConstruct::Atomic,
+        OmpConstruct::Reduction,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OmpConstruct::Parallel => "PARALLEL",
+            OmpConstruct::ParallelFor => "PARALLEL FOR",
+            OmpConstruct::For => "DO/FOR",
+            OmpConstruct::Barrier => "BARRIER",
+            OmpConstruct::Single => "SINGLE",
+            OmpConstruct::Critical => "CRITICAL",
+            OmpConstruct::LockUnlock => "LOCK/UNLOCK",
+            OmpConstruct::Ordered => "ORDERED",
+            OmpConstruct::Atomic => "ATOMIC",
+            OmpConstruct::Reduction => "REDUCTION",
+        }
+    }
+}
+
+/// Construct-overhead model for one processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Cost of one contended cache-line transfer, microseconds.
+    pub quantum_us: f64,
+}
+
+impl OverheadModel {
+    /// Derive the model from the architecture description.
+    pub fn for_processor(p: &ProcessorSpec) -> Self {
+        let stall_factor = match p.core.execution {
+            ExecutionStyle::OutOfOrder => 1.0,
+            // In-order cores expose the full coherence miss.
+            ExecutionStyle::InOrder => 1.5,
+        };
+        OverheadModel {
+            quantum_us: p.memory.idle_latency_ns / 1000.0 * stall_factor,
+        }
+    }
+
+    /// Overhead of one execution of `construct` on a team of `threads`,
+    /// microseconds (the Figure 15 quantity, `Tp − Ts/p`).
+    pub fn construct_overhead_us(&self, construct: OmpConstruct, threads: u32) -> f64 {
+        assert!(threads >= 1);
+        let q = self.quantum_us;
+        let l = (threads as f64).log2().max(1.0);
+        match construct {
+            OmpConstruct::Atomic => q,
+            OmpConstruct::LockUnlock => 2.0 * q,
+            OmpConstruct::Critical => 2.5 * q,
+            OmpConstruct::Ordered => 3.0 * q,
+            OmpConstruct::Single => (l + 1.0) * q,
+            OmpConstruct::Barrier => 2.0 * l * q,
+            OmpConstruct::For => (2.0 * l + 1.0) * q,
+            OmpConstruct::Parallel => 3.0 * l * q,
+            OmpConstruct::ParallelFor => (3.0 * l + 1.0) * q,
+            // Tree fork/join plus a serial combine per thread.
+            OmpConstruct::Reduction => (3.0 * l + 1.0) * q + 0.05 * threads as f64 * q,
+        }
+    }
+
+    /// Overhead of scheduling a loop of `n_iters` under `sched` on
+    /// `threads` threads, microseconds (the Figure 16 quantity): the
+    /// parallel-for envelope plus one half-quantum per shared-counter
+    /// dispatch (static dispatch is precomputed and free).
+    pub fn schedule_overhead_us(&self, sched: Schedule, n_iters: usize, threads: u32) -> f64 {
+        let envelope = self.construct_overhead_us(OmpConstruct::ParallelFor, threads);
+        let per_dispatch = match sched {
+            Schedule::Static { .. } => 0.0,
+            Schedule::Dynamic { .. } | Schedule::Guided { .. } => 0.5 * self.quantum_us,
+        };
+        envelope + sched.dispatch_count(n_iters, threads as usize) as f64 * per_dispatch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maia_arch::presets;
+
+    fn host() -> OverheadModel {
+        OverheadModel::for_processor(&presets::xeon_e5_2670())
+    }
+    fn phi() -> OverheadModel {
+        OverheadModel::for_processor(&presets::xeon_phi_5110p())
+    }
+
+    #[test]
+    fn figure15_ordering_on_phi() {
+        let m = phi();
+        let t = 236;
+        let ov = |c| m.construct_overhead_us(c, t);
+        // "The most expensive operation is Reduction, followed by PARALLEL
+        // FOR and PARALLEL, whereas ATOMIC is the least expensive."
+        assert!(ov(OmpConstruct::Reduction) > ov(OmpConstruct::ParallelFor));
+        assert!(ov(OmpConstruct::ParallelFor) > ov(OmpConstruct::Parallel));
+        assert!(ov(OmpConstruct::Parallel) > ov(OmpConstruct::Barrier));
+        for c in OmpConstruct::ALL {
+            if c != OmpConstruct::Atomic {
+                assert!(ov(c) > ov(OmpConstruct::Atomic), "{} !> ATOMIC", c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn figure15_phi_is_order_of_magnitude_worse() {
+        let h = host();
+        let p = phi();
+        // Compare at the paper's thread counts: host 16, Phi 236.
+        for c in OmpConstruct::ALL {
+            let ratio = p.construct_overhead_us(c, 236) / h.construct_overhead_us(c, 16);
+            assert!(
+                (4.0..25.0).contains(&ratio),
+                "{}: host/Phi overhead ratio {ratio} outside 'order of magnitude'",
+                c.label()
+            );
+        }
+        // Aggregate: roughly 10x.
+        let mean: f64 = OmpConstruct::ALL
+            .iter()
+            .map(|&c| p.construct_overhead_us(c, 236) / h.construct_overhead_us(c, 16))
+            .sum::<f64>()
+            / OmpConstruct::ALL.len() as f64;
+        assert!((7.0..15.0).contains(&mean), "mean ratio {mean}");
+    }
+
+    #[test]
+    fn figure16_schedule_ordering() {
+        // STATIC < GUIDED < DYNAMIC on both architectures.
+        for m in [host(), phi()] {
+            for threads in [16u32, 236] {
+                let st = m.schedule_overhead_us(Schedule::static_default(), 1024, threads);
+                let gu = m.schedule_overhead_us(Schedule::Guided { min_chunk: 1 }, 1024, threads);
+                let dy = m.schedule_overhead_us(Schedule::Dynamic { chunk: 1 }, 1024, threads);
+                assert!(st < gu && gu < dy, "{st} !< {gu} !< {dy} at {threads}T");
+            }
+        }
+    }
+
+    #[test]
+    fn figure16_phi_schedules_order_of_magnitude_worse() {
+        let h = host();
+        let p = phi();
+        for sched in [
+            Schedule::static_default(),
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let ratio = p.schedule_overhead_us(sched, 1024, 236)
+                / h.schedule_overhead_us(sched, 1024, 16);
+            assert!(ratio > 4.0, "{}: ratio {ratio}", sched.label());
+        }
+    }
+
+    #[test]
+    fn larger_chunks_reduce_dynamic_overhead() {
+        let m = phi();
+        let c1 = m.schedule_overhead_us(Schedule::Dynamic { chunk: 1 }, 1024, 236);
+        let c16 = m.schedule_overhead_us(Schedule::Dynamic { chunk: 16 }, 1024, 236);
+        let c128 = m.schedule_overhead_us(Schedule::Dynamic { chunk: 128 }, 1024, 236);
+        assert!(c1 > c16 && c16 > c128);
+    }
+
+    #[test]
+    fn quantum_reflects_memory_latency_and_execution_style() {
+        assert!((host().quantum_us - 0.081).abs() < 1e-9);
+        assert!((phi().quantum_us - 0.4425).abs() < 1e-9);
+    }
+}

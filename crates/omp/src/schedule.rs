@@ -1,0 +1,111 @@
+//! Loop scheduling policies (OpenMP `schedule` clause).
+
+/// How a work-shared loop's iterations map onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Iterations are divided into contiguous blocks assigned round-robin
+    /// at region entry; zero per-chunk dispatch cost. `chunk = 0` means
+    /// one block per thread (OpenMP's default static schedule).
+    Static { chunk: usize },
+    /// Threads grab `chunk` iterations at a time from a shared counter.
+    Dynamic { chunk: usize },
+    /// Like dynamic but with geometrically shrinking chunks, never smaller
+    /// than `min_chunk`.
+    Guided { min_chunk: usize },
+}
+
+impl Schedule {
+    /// The default `schedule(static)`.
+    pub fn static_default() -> Self {
+        Schedule::Static { chunk: 0 }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Schedule::Static { .. } => "STATIC",
+            Schedule::Dynamic { .. } => "DYNAMIC",
+            Schedule::Guided { .. } => "GUIDED",
+        }
+    }
+
+    /// Number of chunk dispatches a loop of `n` iterations on `threads`
+    /// threads performs under this schedule — the quantity that drives
+    /// scheduling overhead (Figure 16).
+    pub fn dispatch_count(&self, n: usize, threads: usize) -> usize {
+        assert!(threads >= 1);
+        if n == 0 {
+            return 0;
+        }
+        match *self {
+            Schedule::Static { chunk } => {
+                if chunk == 0 {
+                    threads.min(n)
+                } else {
+                    n.div_ceil(chunk)
+                }
+            }
+            Schedule::Dynamic { chunk } => n.div_ceil(chunk.max(1)),
+            Schedule::Guided { min_chunk } => {
+                // Each dispatch takes remaining/threads, floored at
+                // min_chunk.
+                let min_chunk = min_chunk.max(1);
+                let mut remaining = n;
+                let mut dispatches = 0;
+                while remaining > 0 {
+                    let take = (remaining / threads).max(min_chunk).min(remaining);
+                    remaining -= take;
+                    dispatches += 1;
+                }
+                dispatches
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_default_dispatches_once_per_thread() {
+        let s = Schedule::static_default();
+        assert_eq!(s.dispatch_count(1000, 8), 8);
+        assert_eq!(s.dispatch_count(4, 8), 4); // fewer iters than threads
+    }
+
+    #[test]
+    fn dynamic_dispatches_per_chunk() {
+        let s = Schedule::Dynamic { chunk: 10 };
+        assert_eq!(s.dispatch_count(1000, 8), 100);
+        assert_eq!(s.dispatch_count(1001, 8), 101);
+    }
+
+    #[test]
+    fn guided_dispatch_count_between_static_and_dynamic() {
+        let n = 10_000;
+        let t = 16;
+        let st = Schedule::static_default().dispatch_count(n, t);
+        let dy = Schedule::Dynamic { chunk: 1 }.dispatch_count(n, t);
+        let gu = Schedule::Guided { min_chunk: 1 }.dispatch_count(n, t);
+        assert!(st < gu && gu < dy, "{st} !< {gu} !< {dy}");
+    }
+
+    #[test]
+    fn zero_iterations_dispatch_nothing() {
+        for s in [
+            Schedule::static_default(),
+            Schedule::Dynamic { chunk: 4 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            assert_eq!(s.dispatch_count(0, 8), 0);
+        }
+    }
+
+    #[test]
+    fn guided_terminates_with_large_threads() {
+        let s = Schedule::Guided { min_chunk: 7 };
+        // Would loop forever if the floor were not applied.
+        assert!(s.dispatch_count(100, 1000) <= 100 / 7 + 2);
+    }
+}

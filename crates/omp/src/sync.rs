@@ -1,0 +1,144 @@
+//! Additional OpenMP synchronization objects: explicit locks
+//! (`omp_init_lock` / `omp_set_lock` / `omp_unset_lock` / `omp_test_lock`)
+//! and the `sections` work-sharing construct.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::team::Team;
+
+/// An OpenMP-style lock: unlike a scoped mutex guard, set and unset are
+/// independent calls, possibly in different lexical scopes (the usage
+/// pattern the EPCC LOCK/UNLOCK benchmark measures).
+#[derive(Debug, Default)]
+pub struct OmpLock {
+    locked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_lock`: block until the lock is acquired.
+    pub fn set(&self) {
+        let mut locked = self.locked.lock();
+        while *locked {
+            self.cv.wait(&mut locked);
+        }
+        *locked = true;
+    }
+
+    /// `omp_unset_lock`.
+    ///
+    /// # Panics
+    /// Panics if the lock is not held — an unset without a set is
+    /// undefined behaviour in OpenMP and a bug here.
+    pub fn unset(&self) {
+        let mut locked = self.locked.lock();
+        assert!(*locked, "omp_unset_lock on an unlocked lock");
+        *locked = false;
+        self.cv.notify_one();
+    }
+
+    /// `omp_test_lock`: acquire if free, never block. Returns whether
+    /// the lock was acquired.
+    pub fn test(&self) -> bool {
+        let mut locked = self.locked.lock();
+        if *locked {
+            false
+        } else {
+            *locked = true;
+            true
+        }
+    }
+}
+
+impl Team {
+    /// The `sections` construct: each closure runs exactly once, on some
+    /// thread of the team, with an implicit barrier at the end.
+    pub fn parallel_sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        let next = AtomicUsize::new(0);
+        self.parallel(|_ctx| loop {
+            let i = next.fetch_add(1, Ordering::AcqRel);
+            if i >= sections.len() {
+                break;
+            }
+            sections[i]();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let team = Team::new(8);
+        let lock = OmpLock::new();
+        let inside = AtomicU32::new(0);
+        let max_inside = AtomicU32::new(0);
+        team.parallel(|_ctx| {
+            for _ in 0..50 {
+                lock.set();
+                let v = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                max_inside.fetch_max(v, Ordering::SeqCst);
+                inside.fetch_sub(1, Ordering::SeqCst);
+                lock.unset();
+            }
+        });
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn test_lock_does_not_block() {
+        let lock = OmpLock::new();
+        assert!(lock.test());
+        assert!(!lock.test()); // already held
+        lock.unset();
+        assert!(lock.test());
+        lock.unset();
+    }
+
+    #[test]
+    #[should_panic(expected = "unlocked")]
+    fn unset_without_set_panics() {
+        OmpLock::new().unset();
+    }
+
+    #[test]
+    fn sections_each_run_exactly_once() {
+        let team = Team::new(3);
+        let counts: Vec<AtomicU32> = (0..7).map(|_| AtomicU32::new(0)).collect();
+        let closures: Vec<Box<dyn Fn() + Sync + '_>> = (0..7)
+            .map(|i| {
+                let counts = &counts;
+                Box::new(move || {
+                    counts[i].fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn Fn() + Sync + '_>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = closures.iter().map(|b| b.as_ref()).collect();
+        team.parallel_sections(&refs);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "section {i}");
+        }
+    }
+
+    #[test]
+    fn more_sections_than_threads_still_covered() {
+        let team = Team::new(2);
+        let count = AtomicU32::new(0);
+        let inc: &(dyn Fn() + Sync) = &|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        };
+        let sections = vec![inc; 9];
+        team.parallel_sections(&sections);
+        assert_eq!(count.load(Ordering::SeqCst), 9);
+    }
+}

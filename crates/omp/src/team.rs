@@ -1,0 +1,458 @@
+//! The parallel-region runtime: teams, thread contexts, and the
+//! synchronization constructs measured in Figure 15.
+//!
+//! A [`Team`] executes SPMD parallel regions on scoped OS threads. Inside a
+//! region each thread holds a [`ThreadCtx`] offering the OpenMP construct
+//! set: `barrier`, `critical`, `single`, `master`, `ordered`, atomic
+//! helpers, and work-shared loops (see [`crate::loops`]).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+use crate::loops::LoopState;
+use crate::schedule::Schedule;
+
+/// State shared by all threads of one parallel region.
+struct RegionShared {
+    barrier: Barrier,
+    critical: Mutex<()>,
+    /// Claim counter for `single`: the g-th single site is executed by the
+    /// thread that advances this counter from g to g+1.
+    single_claim: AtomicUsize,
+    /// Turn counter for `ordered`.
+    ordered_turn: AtomicUsize,
+}
+
+impl RegionShared {
+    fn new(n: usize) -> Self {
+        RegionShared {
+            barrier: Barrier::new(n),
+            critical: Mutex::new(()),
+            single_claim: AtomicUsize::new(0),
+            ordered_turn: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A thread team of fixed size, analogous to `OMP_NUM_THREADS`.
+#[derive(Debug, Clone)]
+pub struct Team {
+    n: usize,
+}
+
+impl Team {
+    /// Create a team of `n` threads.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a team needs at least one thread");
+        Team { n }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Execute `f` on every thread of the team (a `parallel` region).
+    /// The calling thread acts as thread 0.
+    pub fn parallel<F>(&self, f: F)
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        let shared = RegionShared::new(self.n);
+        std::thread::scope(|s| {
+            for id in 1..self.n {
+                let shared = &shared;
+                let f = &f;
+                let n = self.n;
+                s.spawn(move || {
+                    let mut ctx = ThreadCtx {
+                        id,
+                        n,
+                        shared,
+                        single_count: 0,
+                        ordered_count: 0,
+                    };
+                    f(&mut ctx);
+                });
+            }
+            let mut ctx = ThreadCtx {
+                id: 0,
+                n: self.n,
+                shared: &shared,
+                single_count: 0,
+                ordered_count: 0,
+            };
+            f(&mut ctx);
+        });
+    }
+
+    /// A `parallel for`: work-share `range` across the team under `sched`.
+    pub fn parallel_for<F>(&self, range: Range<usize>, sched: Schedule, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let state = LoopState::new(range, sched);
+        self.parallel(|ctx| ctx.for_loop(&state, &f));
+    }
+
+    /// Work-share a mutable slice: each thread receives its contiguous
+    /// block (the default static partition) together with the block's
+    /// starting index. This is the safe idiom for stencil/SpMV output
+    /// arrays: disjoint chunks, no interior mutability needed.
+    pub fn parallel_chunks<T, F>(&self, data: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = data.len();
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut start = 0usize;
+            for id in 0..self.n {
+                let r = block_partition(n, self.n, id);
+                let (chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let f = &f;
+                let chunk_start = start;
+                start += r.len();
+                if id == self.n - 1 {
+                    // Run the last chunk on the calling thread.
+                    f(chunk_start, chunk);
+                } else {
+                    s.spawn(move || f(chunk_start, chunk));
+                }
+            }
+        });
+    }
+
+    /// A `parallel for reduction`: every index is passed to `map` along
+    /// with a thread-private accumulator; accumulators are merged with
+    /// `combine`.
+    pub fn parallel_reduce<T, M, C>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> T
+    where
+        T: Clone + Send + Sync,
+        M: Fn(usize, &mut T) + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let state = LoopState::new(range, sched);
+        let result: Mutex<T> = Mutex::new(identity.clone());
+        self.parallel(|ctx| {
+            let mut local = identity.clone();
+            ctx.for_loop(&state, |i| map(i, &mut local));
+            let mut guard = result.lock();
+            let merged = combine(guard.clone(), local);
+            *guard = merged;
+        });
+        result.into_inner()
+    }
+}
+
+/// Per-thread handle inside a parallel region.
+pub struct ThreadCtx<'r> {
+    id: usize,
+    n: usize,
+    shared: &'r RegionShared,
+    single_count: usize,
+    ordered_count: usize,
+}
+
+impl ThreadCtx<'_> {
+    /// This thread's rank in the team (`omp_get_thread_num`).
+    pub fn thread_num(&self) -> usize {
+        self.id
+    }
+
+    /// Team size (`omp_get_num_threads`).
+    pub fn num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Block until every team member arrives (`#pragma omp barrier`).
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Run `f` under the team-wide mutual exclusion lock
+    /// (`#pragma omp critical`).
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.shared.critical.lock();
+        f()
+    }
+
+    /// Execute `f` on exactly one (the first-arriving) thread, then
+    /// barrier — `#pragma omp single`. Returns `Some` on the executing
+    /// thread.
+    pub fn single<R>(&mut self, f: impl FnOnce() -> R) -> Option<R> {
+        let r = self.single_nowait(f);
+        self.barrier();
+        r
+    }
+
+    /// `single nowait`: no trailing barrier.
+    pub fn single_nowait<R>(&mut self, f: impl FnOnce() -> R) -> Option<R> {
+        let g = self.single_count;
+        self.single_count += 1;
+        if self
+            .shared
+            .single_claim
+            .compare_exchange(g, g + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Some(f())
+        } else {
+            None
+        }
+    }
+
+    /// Execute `f` only on thread 0 (`#pragma omp master`); no barrier.
+    pub fn master<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        (self.id == 0).then(f)
+    }
+
+    /// Execute `f` in thread-rank order across the team — the runtime's
+    /// `ordered` construct. Each thread may call this the same number of
+    /// times; call k of thread i runs after call k of thread i-1.
+    pub fn ordered<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let my_turn = self.ordered_count * self.n + self.id;
+        self.ordered_count += 1;
+        while self.shared.ordered_turn.load(Ordering::Acquire) != my_turn {
+            std::hint::spin_loop();
+        }
+        let r = f();
+        self.shared.ordered_turn.fetch_add(1, Ordering::AcqRel);
+        r
+    }
+
+    /// The contiguous block of `0..n` owned by this thread under the
+    /// default static partition.
+    pub fn my_block(&self, n: usize) -> Range<usize> {
+        block_partition(n, self.n, self.id)
+    }
+
+    /// Execute a work-shared loop described by `state`, calling `body` for
+    /// every index this thread owns. No implicit barrier (combine with
+    /// [`ThreadCtx::barrier`] for the OpenMP default).
+    pub fn for_loop(&self, state: &LoopState, body: impl FnMut(usize)) {
+        state.run(self.id, self.n, body);
+    }
+}
+
+/// Contiguous block partition of `n` items over `teams` parts: part `id`
+/// gets `[n*id/teams, n*(id+1)/teams)` — balanced to within one item.
+pub fn block_partition(n: usize, teams: usize, id: usize) -> Range<usize> {
+    assert!(teams >= 1 && id < teams, "invalid partition request");
+    (n * id / teams)..(n * (id + 1) / teams)
+}
+
+/// Atomically add `x` to an f64 stored as bits in an [`AtomicU64`] — the
+/// runtime's `#pragma omp atomic` for floating point.
+pub fn atomic_add_f64(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + x;
+        match cell.compare_exchange_weak(
+            cur,
+            new.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallel_runs_on_all_threads() {
+        let team = Team::new(4);
+        let count = AtomicUsize::new(0);
+        let ids = Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            count.fetch_add(1, Ordering::SeqCst);
+            ids.lock().push(ctx.thread_num());
+            assert_eq!(ctx.num_threads(), 4);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        let mut got = ids.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let team = Team::new(8);
+        let phase1 = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every thread must observe all 8 arrivals.
+            if phase1.load(Ordering::SeqCst) != 8 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        let team = Team::new(8);
+        let inside = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            for _ in 0..100 {
+                ctx.critical(|| {
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn single_executes_exactly_once_per_site() {
+        let team = Team::new(6);
+        let count = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            for _ in 0..10 {
+                ctx.single(|| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn master_runs_only_on_thread_zero() {
+        let team = Team::new(4);
+        let who = Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            ctx.master(|| who.lock().push(ctx.thread_num()));
+        });
+        assert_eq!(who.into_inner(), vec![0]);
+    }
+
+    #[test]
+    fn ordered_respects_rank_order() {
+        let team = Team::new(5);
+        let seq = Mutex::new(Vec::new());
+        team.parallel(|ctx| {
+            for round in 0..3 {
+                let id = ctx.thread_num();
+                ctx.ordered(|| seq.lock().push((round, id)));
+            }
+        });
+        let got = seq.into_inner();
+        let expected: Vec<(usize, usize)> = (0..3)
+            .flat_map(|r| (0..5).map(move |i| (r, i)))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn block_partition_covers_range_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for teams in [1usize, 3, 8] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for id in 0..teams {
+                    let r = block_partition(n, teams, id);
+                    assert_eq!(r.start, prev_end, "gap/overlap at part {id}");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_f64_accumulates_exactly_in_parallel() {
+        let team = Team::new(8);
+        let acc = AtomicU64::new(0f64.to_bits());
+        team.parallel(|_ctx| {
+            for _ in 0..1000 {
+                atomic_add_f64(&acc, 0.5);
+            }
+        });
+        assert_eq!(f64::from_bits(acc.load(Ordering::SeqCst)), 4000.0);
+    }
+
+    #[test]
+    fn parallel_reduce_sums_range() {
+        let team = Team::new(7);
+        let sum = team.parallel_reduce(
+            0..1000,
+            Schedule::Dynamic { chunk: 13 },
+            0u64,
+            |i, acc| *acc += i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn parallel_chunks_covers_slice_with_correct_offsets() {
+        let team = Team::new(5);
+        let mut data = vec![0usize; 103];
+        team.parallel_chunks(&mut data, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = start + i;
+            }
+        });
+        let expected: Vec<usize> = (0..103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn parallel_chunks_handles_fewer_items_than_threads() {
+        let team = Team::new(8);
+        let mut data = vec![1u8; 3];
+        team.parallel_chunks(&mut data, |_s, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert_eq!(data, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn single_thread_team_works_inline() {
+        let team = Team::new(1);
+        let mut hits = 0;
+        let cell = Mutex::new(&mut hits);
+        team.parallel(|ctx| {
+            ctx.barrier();
+            **cell.lock() += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Team::new(0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the OpenMP runtime: loop coverage under
+//! arbitrary schedules and monotonicity laws of the overhead model.
+
+use maia_arch::presets;
+use maia_omp::{OmpConstruct, OverheadModel, Schedule, Team};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::static_default()),
+        (1usize..32).prop_map(|chunk| Schedule::Static { chunk }),
+        (1usize..32).prop_map(|chunk| Schedule::Dynamic { chunk }),
+        (1usize..16).prop_map(|min_chunk| Schedule::Guided { min_chunk }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every (schedule, thread count, loop length) covers each index
+    /// exactly once.
+    #[test]
+    fn any_schedule_covers_exactly_once(
+        sched in schedule_strategy(),
+        threads in 1usize..7,
+        n in 0usize..300,
+    ) {
+        let team = Team::new(threads);
+        let hits = Mutex::new(vec![0u32; n]);
+        team.parallel_for(0..n, sched, |i| {
+            hits.lock()[i] += 1;
+        });
+        let h = hits.into_inner();
+        prop_assert!(h.iter().all(|&c| c == 1), "coverage {h:?} under {sched:?}");
+    }
+
+    /// Construct overheads grow (weakly) with thread count on both
+    /// architectures.
+    #[test]
+    fn overheads_monotone_in_threads(t1 in 1u32..64, t2 in 1u32..64) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        for p in [presets::xeon_e5_2670(), presets::xeon_phi_5110p()] {
+            let m = OverheadModel::for_processor(&p);
+            for c in OmpConstruct::ALL {
+                prop_assert!(
+                    m.construct_overhead_us(c, lo) <= m.construct_overhead_us(c, hi) + 1e-12,
+                    "{} overhead decreased from {lo} to {hi} threads",
+                    c.label()
+                );
+            }
+        }
+    }
+
+    /// Dynamic scheduling overhead decreases (weakly) with chunk size.
+    #[test]
+    fn dynamic_overhead_monotone_in_chunk(c1 in 1usize..256, c2 in 1usize..256) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let m = OverheadModel::for_processor(&presets::xeon_phi_5110p());
+        let big = m.schedule_overhead_us(Schedule::Dynamic { chunk: lo }, 4096, 236);
+        let small = m.schedule_overhead_us(Schedule::Dynamic { chunk: hi }, 4096, 236);
+        prop_assert!(small <= big + 1e-12);
+    }
+
+    /// Reduction over any input matches the sequential fold.
+    #[test]
+    fn reduce_matches_sequential(
+        values in prop::collection::vec(-100i64..100, 0..200),
+        threads in 1usize..6,
+    ) {
+        let team = Team::new(threads);
+        let vals = values.clone();
+        let sum = team.parallel_reduce(
+            0..vals.len(),
+            Schedule::Dynamic { chunk: 7 },
+            0i64,
+            |i, acc| *acc += vals[i],
+            |a, b| a + b,
+        );
+        prop_assert_eq!(sum, values.iter().sum::<i64>());
+    }
+}

@@ -1,0 +1,191 @@
+//! Message channels in virtual time.
+//!
+//! A [`SimChannel`] is an unbounded FIFO between simulated processes.
+//! `send` never blocks and consumes no virtual time — wire/transport time
+//! is a property of the *fabric*, so callers model it explicitly (the MPI
+//! layer advances the clock for latency and occupies link resources for
+//! bandwidth before delivering the payload). `recv` blocks the calling
+//! process in virtual time until a message is available.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{ProcCtx, ProcessId};
+
+struct Inner<T> {
+    name: String,
+    queue: VecDeque<T>,
+    /// Processes parked in `recv`, in arrival order.
+    waiters: VecDeque<ProcessId>,
+}
+
+/// An unbounded FIFO channel between simulated processes.
+///
+/// Cloning is cheap and shares the underlying queue.
+pub struct SimChannel<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send> SimChannel<T> {
+    /// Create a named channel (the name appears in diagnostics).
+    pub fn new(name: impl Into<String>) -> Self {
+        SimChannel {
+            inner: Arc::new(Mutex::new(Inner {
+                name: name.into(),
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Diagnostic name of this channel.
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+
+    /// Enqueue a message and wake the longest-waiting receiver, if any.
+    /// Takes zero virtual time.
+    pub fn send(&self, ctx: &ProcCtx, value: T) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(value);
+        if let Some(pid) = inner.waiters.pop_front() {
+            ctx.wake(pid);
+        }
+    }
+
+    /// Dequeue a message, blocking in virtual time until one is available.
+    pub fn recv(&self, ctx: &mut ProcCtx) -> T {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return v;
+                }
+                inner.waiters.push_back(ctx.pid());
+            }
+            ctx.block();
+            // On wake-up the message may have been taken by a receiver that
+            // was scheduled earlier in the same instant; loop and re-check.
+        }
+    }
+
+    /// Dequeue a message if one is immediately available.
+    pub fn try_recv(&self, _ctx: &ProcCtx) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Number of queued (undelivered) messages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::time::SimDuration;
+    use parking_lot::Mutex as PlMutex;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u32>::new("fifo");
+        let got = Arc::new(PlMutex::new(Vec::new()));
+        {
+            let ch = ch.clone();
+            eng.spawn("sender", move |ctx| {
+                for i in 0..8 {
+                    ch.send(ctx, i);
+                    ctx.advance(SimDuration::from_ns(1.0));
+                }
+            });
+        }
+        {
+            let got = Arc::clone(&got);
+            eng.spawn("receiver", move |ctx| {
+                for _ in 0..8 {
+                    got.lock().push(ch.recv(ctx));
+                }
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*got.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_receivers_share_one_stream() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u32>::new("shared");
+        let total = Arc::new(PlMutex::new(0u32));
+        for r in 0..4 {
+            let ch = ch.clone();
+            let total = Arc::clone(&total);
+            eng.spawn(format!("rx{r}"), move |ctx| {
+                let v = ch.recv(ctx);
+                *total.lock() += v;
+            });
+        }
+        {
+            let ch = ch.clone();
+            eng.spawn("tx", move |ctx| {
+                for i in 1..=4 {
+                    ctx.advance(SimDuration::from_ns(10.0));
+                    ch.send(ctx, i);
+                }
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*total.lock(), 10);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u8>::new("try");
+        let saw = Arc::new(PlMutex::new((false, false)));
+        {
+            let ch = ch.clone();
+            let saw = Arc::clone(&saw);
+            eng.spawn("poller", move |ctx| {
+                saw.lock().0 = ch.try_recv(ctx).is_some(); // nothing yet
+                ctx.advance(SimDuration::from_us(2.0));
+                saw.lock().1 = ch.try_recv(ctx) == Some(5);
+            });
+        }
+        eng.spawn("sender", move |ctx| {
+            ctx.advance(SimDuration::from_us(1.0));
+            ch.send(ctx, 5);
+        });
+        eng.run().unwrap();
+        assert_eq!(*saw.lock(), (false, true));
+    }
+
+    #[test]
+    fn send_costs_no_virtual_time() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u8>::new("free");
+        eng.spawn("tx", move |ctx| {
+            for _ in 0..100 {
+                ch.send(ctx, 0);
+            }
+            assert_eq!(ctx.now().as_ps(), 0);
+        });
+        eng.run().unwrap();
+    }
+}

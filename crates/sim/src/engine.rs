@@ -1,0 +1,638 @@
+//! The conservative process-oriented simulation engine.
+//!
+//! Each simulated process runs on its own OS thread, but the scheduler
+//! enforces strict one-at-a-time execution: it resumes exactly one process,
+//! waits for that process to yield (by advancing time, blocking, or
+//! finishing), and only then picks the next event. Events are totally
+//! ordered by `(virtual time, sequence number)`, so simulations are
+//! deterministic regardless of OS thread scheduling.
+//!
+//! Processes written against [`ProcCtx`] look like ordinary blocking code;
+//! the virtual clock only moves via [`ProcCtx::advance`] and the wake-ups
+//! triggered through channels and resources.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated process within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// Dense index of this process within its engine (spawn order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Errors surfaced by [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while some processes were still blocked:
+    /// every named process is waiting on a channel or resource that no
+    /// runnable process can ever satisfy.
+    Deadlock {
+        /// Names of the blocked processes.
+        blocked: Vec<String>,
+        /// Virtual time at which the simulation stalled.
+        at: SimTime,
+    },
+    /// A process panicked; the simulation cannot continue.
+    ProcessPanicked {
+        /// Name given to [`Engine::spawn`].
+        name: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked, at } => {
+                write!(f, "simulation deadlocked at {at}; blocked: {}", blocked.join(", "))
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Sent by the scheduler to resume a process at a given virtual time.
+struct Resume {
+    now: SimTime,
+}
+
+/// Sent by a process thread back to the scheduler when it yields.
+enum YieldMsg {
+    /// The process consumed `dur` of virtual time and wants to continue.
+    Advance { pid: ProcessId, dur: SimDuration },
+    /// The process is blocked on a channel/resource and must be woken via
+    /// [`Shared::wakes`].
+    Blocked { pid: ProcessId },
+    /// The process closure returned.
+    Finished { pid: ProcessId },
+    /// The process closure panicked.
+    Panicked { pid: ProcessId, message: String },
+}
+
+/// State shared between the scheduler and the (single) running process.
+#[derive(Default)]
+pub(crate) struct Shared {
+    /// Wake requests raised by the running process (e.g. a channel send to a
+    /// blocked receiver). Drained by the scheduler every time the running
+    /// process yields; because virtual time does not pass while a process
+    /// runs, deferring the wake to yield time is exact.
+    wakes: Mutex<Vec<ProcessId>>,
+}
+
+/// Private token used to unwind a process thread when the engine shuts down
+/// before the process has finished (e.g. after a deadlock or early drop).
+struct EngineShutdown;
+
+fn install_quiet_shutdown_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            // Engine-initiated unwinds are part of normal teardown; keep the
+            // default hook's output for genuine panics only.
+            if info.payload().downcast_ref::<EngineShutdown>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Execution context handed to every simulated process.
+///
+/// All interaction with virtual time flows through this handle. It is
+/// deliberately `!Clone`: a process has exactly one identity on the clock.
+pub struct ProcCtx {
+    pid: ProcessId,
+    now: SimTime,
+    shared: Arc<Shared>,
+    yield_tx: Sender<YieldMsg>,
+    resume_rx: Receiver<Resume>,
+}
+
+impl ProcCtx {
+    /// Identifier of this process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Consume `dur` of virtual time (e.g. compute, memory traffic, wire
+    /// time). Other processes may run in the interim.
+    pub fn advance(&mut self, dur: SimDuration) {
+        self.yield_and_wait(YieldMsg::Advance { pid: self.pid, dur });
+    }
+
+    /// Block until another process wakes this one (used by channels and
+    /// resources). Returns at the waker's virtual time.
+    pub(crate) fn block(&mut self) {
+        self.yield_and_wait(YieldMsg::Blocked { pid: self.pid });
+    }
+
+    /// Request that `pid` be made runnable at the current virtual time.
+    /// The request takes effect when the running process next yields.
+    pub(crate) fn wake(&self, pid: ProcessId) {
+        self.shared.wakes.lock().push(pid);
+    }
+
+    fn yield_and_wait(&mut self, msg: YieldMsg) {
+        if self.yield_tx.send(msg).is_err() {
+            // Scheduler is gone: unwind quietly.
+            panic::panic_any(EngineShutdown);
+        }
+        match self.resume_rx.recv() {
+            Ok(Resume { now }) => self.now = now,
+            Err(_) => panic::panic_any(EngineShutdown),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Has an event in the queue.
+    Queued,
+    /// Currently executing (the scheduler is waiting for its yield).
+    Running,
+    /// Waiting for a wake-up.
+    Blocked,
+    Finished,
+}
+
+struct ProcEntry {
+    name: String,
+    resume_tx: Sender<Resume>,
+    handle: Option<JoinHandle<()>>,
+    state: ProcState,
+}
+
+/// One recorded scheduler action (see [`Engine::enable_tracing`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time of the action, picoseconds.
+    pub at_ps: u64,
+    /// Which process.
+    pub pid: ProcessId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of scheduler actions a trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    Resumed,
+    Advanced,
+    Blocked,
+    Finished,
+}
+
+/// The simulation engine: owns the event queue and all process threads.
+///
+/// Typical lifecycle: construct, [`spawn`](Engine::spawn) every process,
+/// then [`run`](Engine::run) to completion. Results are communicated out of
+/// processes through shared state (`Arc<Mutex<..>>`) captured by the
+/// closures.
+pub struct Engine {
+    procs: Vec<ProcEntry>,
+    shared: Arc<Shared>,
+    yield_tx: Sender<YieldMsg>,
+    yield_rx: Receiver<YieldMsg>,
+    /// Min-heap over (time, seq, pid).
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    seq: u64,
+    ran: bool,
+    trace: Option<Vec<TraceRecord>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        install_quiet_shutdown_hook();
+        let (yield_tx, yield_rx) = unbounded();
+        Engine {
+            procs: Vec::new(),
+            shared: Arc::new(Shared::default()),
+            yield_tx,
+            yield_rx,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            ran: false,
+            trace: None,
+        }
+    }
+
+    /// Record every scheduler action; retrieve the trace from
+    /// [`Engine::run_traced`].
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Number of spawned processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Spawn a simulated process. All processes start at virtual time zero,
+    /// in spawn order. Must be called before [`run`](Engine::run).
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        assert!(!self.ran, "Engine::spawn called after Engine::run");
+        let pid = ProcessId(self.procs.len());
+        let (resume_tx, resume_rx) = unbounded::<Resume>();
+        let yield_tx = self.yield_tx.clone();
+        let shared = Arc::clone(&self.shared);
+        let name: String = name.into();
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{thread_name}"))
+            .spawn(move || {
+                // Wait for the first resume before touching anything.
+                let Ok(Resume { now }) = resume_rx.recv() else { return };
+                let mut ctx = ProcCtx {
+                    pid,
+                    now,
+                    shared,
+                    yield_tx: yield_tx.clone(),
+                    resume_rx,
+                };
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                match result {
+                    Ok(()) => {
+                        let _ = yield_tx.send(YieldMsg::Finished { pid });
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<EngineShutdown>().is_some() {
+                            // Quiet teardown; the scheduler is already gone
+                            // or no longer cares about this process.
+                            return;
+                        }
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        let _ = yield_tx.send(YieldMsg::Panicked { pid, message });
+                    }
+                }
+            })
+            .expect("failed to spawn simulation process thread");
+
+        self.push_event(SimTime::ZERO, pid.0);
+        self.procs.push(ProcEntry {
+            name,
+            resume_tx,
+            handle: Some(handle),
+            state: ProcState::Queued,
+        });
+        pid
+    }
+
+    fn push_event(&mut self, at: SimTime, pid: usize) {
+        self.queue.push(Reverse((at, self.seq, pid)));
+        self.seq += 1;
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// Returns the virtual time of the last event on success. Fails with
+    /// [`SimError::Deadlock`] if processes remain blocked with no runnable
+    /// work, or [`SimError::ProcessPanicked`] if any process panics.
+    pub fn run(self) -> Result<SimTime, SimError> {
+        self.run_traced().map(|(t, _)| t)
+    }
+
+    /// Like [`Engine::run`], also returning the recorded trace (empty
+    /// unless [`Engine::enable_tracing`] was called).
+    pub fn run_traced(mut self) -> Result<(SimTime, Vec<TraceRecord>), SimError> {
+        self.ran = true;
+        let mut now = SimTime::ZERO;
+        while let Some(Reverse((t, _seq, pidx))) = self.queue.pop() {
+            debug_assert!(t >= now, "event queue went backwards in time");
+            now = t;
+            debug_assert_eq!(
+                self.procs[pidx].state,
+                ProcState::Queued,
+                "popped an event for process '{}' in state {:?}",
+                self.procs[pidx].name,
+                self.procs[pidx].state
+            );
+            self.procs[pidx].state = ProcState::Running;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId(pidx), kind: TraceKind::Resumed });
+            }
+            if self.procs[pidx].resume_tx.send(Resume { now }).is_err() {
+                return Err(SimError::ProcessPanicked {
+                    name: self.procs[pidx].name.clone(),
+                    message: "process thread exited without yielding".to_string(),
+                });
+            }
+            let msg = self
+                .yield_rx
+                .recv()
+                .expect("yield channel closed while a process was running");
+            match msg {
+                YieldMsg::Advance { pid, dur } => {
+                    self.procs[pid.0].state = ProcState::Queued;
+                    let at = now + dur;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Advanced });
+                    }
+                    self.push_event(at, pid.0);
+                }
+                YieldMsg::Blocked { pid } => {
+                    self.procs[pid.0].state = ProcState::Blocked;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Blocked });
+                    }
+                }
+                YieldMsg::Finished { pid } => {
+                    self.procs[pid.0].state = ProcState::Finished;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Finished });
+                    }
+                    if let Some(h) = self.procs[pid.0].handle.take() {
+                        let _ = h.join();
+                    }
+                }
+                YieldMsg::Panicked { pid, message } => {
+                    return Err(SimError::ProcessPanicked {
+                        name: self.procs[pid.0].name.clone(),
+                        message,
+                    });
+                }
+            }
+            // Apply wake requests raised while the process ran.
+            let wakes: Vec<ProcessId> = std::mem::take(&mut *self.shared.wakes.lock());
+            for w in wakes {
+                if self.procs[w.0].state == ProcState::Blocked {
+                    self.procs[w.0].state = ProcState::Queued;
+                    self.push_event(now, w.0);
+                }
+                // A wake for a Queued/Running/Finished process is spurious
+                // (e.g. two senders raced in the same instant); ignore it —
+                // the target will re-check its wait condition anyway.
+            }
+        }
+
+        let blocked: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcState::Blocked)
+            .map(|p| p.name.clone())
+            .collect();
+        if blocked.is_empty() {
+            Ok((now, self.trace.take().unwrap_or_default()))
+        } else {
+            Err(SimError::Deadlock { blocked, at: now })
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Dropping the resume senders makes any still-parked process unwind
+        // via the quiet EngineShutdown token; join them so no thread leaks.
+        for p in &mut self.procs {
+            let (dead_tx, _) = unbounded::<Resume>();
+            p.resume_tx = dead_tx; // drop the real sender
+        }
+        for p in &mut self.procs {
+            if let Some(h) = p.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::SimChannel;
+    use parking_lot::Mutex as PlMutex;
+
+    #[test]
+    fn empty_engine_completes_at_zero() {
+        let eng = Engine::new();
+        assert_eq!(eng.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let mut eng = Engine::new();
+        eng.spawn("p", |ctx| {
+            ctx.advance(SimDuration::from_us(5.0));
+            ctx.advance(SimDuration::from_us(2.5));
+        });
+        let end = eng.run().unwrap();
+        assert_eq!(end.as_us(), 7.5);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let order = Arc::new(PlMutex::new(Vec::new()));
+        let mut eng = Engine::new();
+        for (name, step) in [("a", 3.0), ("b", 2.0)] {
+            let order = Arc::clone(&order);
+            eng.spawn(name, move |ctx| {
+                for i in 0..3 {
+                    ctx.advance(SimDuration::from_us(step));
+                    order.lock().push((name, i, ctx.now().as_us()));
+                }
+            });
+        }
+        eng.run().unwrap();
+        let got = order.lock().clone();
+        // b ticks at 2,4,6; a at 3,6,9. At t=6, a's event was queued first
+        // (a advanced from t=3 before b advanced from t=4).
+        let expected = vec![
+            ("b", 0, 2.0),
+            ("a", 0, 3.0),
+            ("b", 1, 4.0),
+            ("a", 1, 6.0),
+            ("b", 2, 6.0),
+            ("a", 2, 9.0),
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rendezvous_over_channel() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u64>::new("ch");
+        let out = Arc::new(PlMutex::new(None));
+        {
+            let ch = ch.clone();
+            eng.spawn("producer", move |ctx| {
+                ctx.advance(SimDuration::from_us(10.0));
+                ch.send(ctx, 42);
+            });
+        }
+        {
+            let out = Arc::clone(&out);
+            eng.spawn("consumer", move |ctx| {
+                let v = ch.recv(ctx);
+                *out.lock() = Some((v, ctx.now().as_us()));
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*out.lock(), Some((42, 10.0)));
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_names() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u8>::new("never");
+        eng.spawn("stuck", move |ctx| {
+            let _ = ch.recv(ctx);
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { blocked, at }) => {
+                assert_eq!(blocked, vec!["stuck".to_string()]);
+                assert_eq!(at, SimTime::ZERO);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_captured() {
+        let mut eng = Engine::new();
+        eng.spawn("boom", |_ctx| panic!("kaboom {}", 9));
+        match eng.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "boom");
+                assert!(message.contains("kaboom 9"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_processes_round_robin() {
+        let counter = Arc::new(PlMutex::new(0u64));
+        let mut eng = Engine::new();
+        for i in 0..64 {
+            let counter = Arc::clone(&counter);
+            eng.spawn(format!("w{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimDuration::from_ns(100.0));
+                    *counter.lock() += 1;
+                }
+            });
+        }
+        let end = eng.run().unwrap();
+        assert_eq!(*counter.lock(), 640);
+        assert_eq!(end.as_ns(), 1000.0);
+    }
+
+    #[test]
+    fn spawn_after_run_panics() {
+        // `run` consumes the engine, so "spawn after run" is prevented by
+        // the type system; this test documents the `ran` flag is still a
+        // valid internal invariant by exercising the normal path.
+        let mut eng = Engine::new();
+        eng.spawn("p", |ctx| ctx.advance(SimDuration::from_ns(1.0)));
+        assert!(eng.run().is_ok());
+    }
+
+    #[test]
+    fn dropping_unrun_engine_does_not_hang() {
+        let mut eng = Engine::new();
+        eng.spawn("never-started", |ctx| ctx.advance(SimDuration::from_us(1.0)));
+        drop(eng); // must join cleanly without running
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_schedule_in_order() {
+        let mut eng = Engine::new();
+        eng.enable_tracing();
+        eng.spawn("a", |ctx| {
+            ctx.advance(SimDuration::from_ns(5.0));
+        });
+        let (end, trace) = eng.run_traced().unwrap();
+        assert_eq!(end.as_ns(), 5.0);
+        let kinds: Vec<TraceKind> = trace.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Resumed,
+                TraceKind::Advanced,
+                TraceKind::Resumed,
+                TraceKind::Finished
+            ]
+        );
+        // Times never decrease.
+        assert!(trace.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+    }
+
+    #[test]
+    fn tracing_off_returns_empty() {
+        let mut eng = Engine::new();
+        eng.spawn("a", |ctx| ctx.advance(SimDuration::from_ns(1.0)));
+        let (_, trace) = eng.run_traced().unwrap();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_shows_blocking_on_channel() {
+        use crate::channel::SimChannel;
+        let mut eng = Engine::new();
+        eng.enable_tracing();
+        let ch = SimChannel::<u8>::new("c");
+        {
+            let ch = ch.clone();
+            eng.spawn("rx", move |ctx| {
+                let _ = ch.recv(ctx);
+            });
+        }
+        eng.spawn("tx", move |ctx| {
+            ctx.advance(SimDuration::from_ns(3.0));
+            ch.send(ctx, 1);
+        });
+        let (_, trace) = eng.run_traced().unwrap();
+        assert!(trace
+            .iter()
+            .any(|r| r.kind == TraceKind::Blocked && r.pid == ProcessId(0)));
+    }
+}

@@ -1,0 +1,6 @@
+//! Runnable examples for the Maia reproduction. See `src/bin/`:
+//!
+//! * `quickstart` — tour of the system model and a real NPB run.
+//! * `cfd_on_phi` — the OVERFLOW study: native layouts and symmetric mode.
+//! * `collective_tuning` — explore MPI collectives on the simulated node.
+//! * `offload_planner` — decide whether an offload plan beats native mode.

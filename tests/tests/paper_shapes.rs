@@ -1,0 +1,143 @@
+//! End-to-end shape checks: the headline claims of the paper's
+//! conclusions (Section 7), validated across crate boundaries through the
+//! public experiment API.
+
+use maia_core::{run_experiment, ExperimentId};
+
+fn rows(id: ExperimentId) -> Vec<Vec<String>> {
+    run_experiment(id).rows
+}
+
+fn parse(cell: &str) -> f64 {
+    cell.parse().unwrap_or_else(|_| panic!("not a number: {cell}"))
+}
+
+/// "a single Phi card had about half the performance of the two host
+/// Xeon processors" — checked through Cart3D and OVERFLOW.
+#[test]
+fn conclusion_phi_is_about_half_a_host() {
+    // Cart3D: relative perf of the best Phi configuration.
+    let f21 = rows(ExperimentId::F21Cart3d);
+    let best_phi = f21
+        .iter()
+        .filter(|r| r[0] == "phi0")
+        .map(|r| parse(&r[2]))
+        .fold(0.0f64, f64::max);
+    assert!(
+        (0.3..0.75).contains(&best_phi),
+        "Cart3D best Phi relative perf {best_phi}"
+    );
+
+    // OVERFLOW: best host layout vs best phi layout.
+    let f22 = rows(ExperimentId::F22OverflowNative);
+    let best = |dev: &str| {
+        f22.iter()
+            .filter(|r| r[0] == dev)
+            .map(|r| parse(&r[2]))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let factor = best("phi0") / best("host");
+    assert!((1.5..2.2).contains(&factor), "OVERFLOW factor {factor}");
+}
+
+/// "OVERFLOW achieved a 1.9x boost [in symmetric mode] compared to its
+/// best performance in native host mode."
+#[test]
+fn conclusion_symmetric_boost() {
+    use maia_apps::overflow::overflow_profile;
+    use maia_interconnect::SoftwareStack;
+    use maia_modes::SymmetricLayout;
+    let k = overflow_profile(35.9e6);
+    let layout = SymmetricLayout {
+        host_ranks: 16,
+        host_threads_per_rank: 1,
+        phi_ranks: 8,
+        phi_threads_per_rank: 28,
+        stack: SoftwareStack::PostUpdate,
+        imbalance: 0.25,
+    };
+    let boost = layout.native_host_step(&k) / layout.step(&k, 24 << 20).step_s;
+    assert!((1.6..2.2).contains(&boost), "boost {boost}");
+}
+
+/// "the overhead of system software such as MPI and OpenMP is very high
+/// on Phi" — both overhead families an order of magnitude up.
+#[test]
+fn conclusion_system_software_overheads() {
+    let f15 = rows(ExperimentId::F15OmpSync);
+    for r in &f15 {
+        assert!(parse(&r[3]) > 3.0, "OMP {} ratio too small", r[0]);
+    }
+    let f10 = rows(ExperimentId::F10SendRecv);
+    let bw = |cfg: &str, size: &str| {
+        f10.iter()
+            .find(|r| r[0] == cfg && r[1] == size)
+            .map(|r| parse(&r[2]))
+            .unwrap()
+    };
+    for size in ["64B", "4KiB", "256KiB"] {
+        let factor = bw("host-16", size) / bw("phi-236 (4t/c)", size);
+        assert!(factor > 20.0, "MPI factor at {size}: {factor}");
+    }
+}
+
+/// "better performance can often be achieved by leaving one core to
+/// operating system software".
+#[test]
+fn conclusion_leave_the_os_core_alone() {
+    let f24 = rows(ExperimentId::F24MgCollapse);
+    let vs_rows: Vec<_> = f24.iter().filter(|r| r[0].contains(" vs ")).collect();
+    assert_eq!(vs_rows.len(), 4);
+    for r in vs_rows {
+        let delta = parse(&r[3]);
+        assert!(delta < -3.0, "{}: using the OS core should hurt ({delta}%)", r[0]);
+    }
+}
+
+/// "the implementation of gather and scatter on the Phi is not
+/// efficient, as shown by the non-unit stride vectorization of CG".
+#[test]
+fn conclusion_gather_scatter_weakness() {
+    let f19 = rows(ExperimentId::F19NpbOmp);
+    let phi_best = |bench: &str| {
+        let r = f19.iter().find(|r| r[0] == bench).unwrap();
+        r[2..].iter().map(|c| parse(c)).fold(0.0f64, f64::max)
+    };
+    let host = |bench: &str| parse(&f19.iter().find(|r| r[0] == bench).unwrap()[1]);
+    let cg_ratio = host("CG") / phi_best("CG");
+    let mg_ratio = host("MG") / phi_best("MG");
+    assert!(
+        cg_ratio > 2.0 * mg_ratio,
+        "CG's host/Phi ratio ({cg_ratio}) should dwarf MG's ({mg_ratio})"
+    );
+}
+
+/// "The post-update software significantly enhanced the MPI bandwidth
+/// over PCIe especially for large message sizes."
+#[test]
+fn conclusion_software_update_matters() {
+    let f9 = rows(ExperimentId::F9UpdateGain);
+    let gain = |path: &str, size: &str| {
+        f9.iter()
+            .find(|r| r[0] == path && r[1] == size)
+            .map(|r| parse(&r[2]))
+            .unwrap()
+    };
+    assert!(gain("host-phi1", "4MiB") > 7.0);
+    assert!(gain("host-phi0", "4MiB") > 2.0);
+    assert!(gain("host-phi0", "8KiB") < 2.0, "small messages barely change");
+}
+
+/// The offload-granularity lesson: "one should carefully choose the
+/// granularity of the offloads".
+#[test]
+fn conclusion_offload_granularity() {
+    let f26 = rows(ExperimentId::F26OffloadOverhead);
+    let overhead = |variant: &str| {
+        f26.iter()
+            .find(|r| r[0] == variant)
+            .map(|r| parse(&r[4]))
+            .unwrap()
+    };
+    assert!(overhead("offload-loop") > 3.0 * overhead("offload-whole"));
+}
