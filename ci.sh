@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, lints, and a smoke sweep of the
+# experiment runner diffed against the checked-in golden report.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke sweep: maia-bench run --all --jobs 2 vs tests/golden/smoke_sweep.md"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+./target/release/maia-bench run --all --jobs 2 >"$tmp" 2>/dev/null
+diff -u tests/golden/smoke_sweep.md "$tmp"
+
+echo "== parallel speedup (informational; asserted only with >= 4 cores)"
+t_start=$(date +%s%N)
+./target/release/maia-bench run --all --jobs 1 >/dev/null 2>&1
+t_serial=$(( $(date +%s%N) - t_start ))
+t_start=$(date +%s%N)
+./target/release/maia-bench run --all --jobs 4 >/dev/null 2>&1
+t_par=$(( $(date +%s%N) - t_start ))
+echo "   jobs=1: $((t_serial / 1000000)) ms   jobs=4: $((t_par / 1000000)) ms"
+cores=$(nproc)
+if [ "$cores" -ge 4 ] && [ $((t_serial)) -lt $((2 * t_par)) ]; then
+    echo "FAIL: expected >= 2x speedup at --jobs 4 on $cores cores" >&2
+    exit 1
+fi
+
+echo "CI green"

@@ -285,8 +285,8 @@ impl Cart3dSolver {
         self.residual(&mut r);
         let u0: Vec<[f64; NCONS]> = self.active.iter().map(|&a| self.u[a as usize]).collect();
         for (c, &a) in self.active.iter().enumerate() {
-            for m in 0..NCONS {
-                self.u[a as usize][m] += self.dt * r[c][m];
+            for (um, &rv) in self.u[a as usize].iter_mut().zip(&r[c]) {
+                *um += self.dt * rv;
             }
         }
         // Stage 2: u = (u0 + u* + dt·R(u*)) / 2.
@@ -317,7 +317,7 @@ impl Cart3dSolver {
     /// Panics unless the grid dimensions are even.
     pub fn fas_cycle(&mut self, pre: usize, coarse_steps: usize, post: usize) -> f64 {
         assert!(
-            self.case.nx % 2 == 0 && self.case.ny % 2 == 0 && self.case.nz % 2 == 0,
+            self.case.nx.is_multiple_of(2) && self.case.ny.is_multiple_of(2) && self.case.nz.is_multiple_of(2),
             "FAS coarsening needs even grid dimensions"
         );
         for _ in 0..pre {
@@ -414,8 +414,8 @@ impl Cart3dSolver {
                     for di in 0..2 {
                         let fi = ((2 * ck + dk) * fny + (2 * cj + dj)) * fnx + (2 * ci + di);
                         if !self.blanked[fi] {
-                            for m in 0..NCONS {
-                                self.u[fi][m] += corr[m];
+                            for (um, &cv) in self.u[fi].iter_mut().zip(&corr) {
+                                *um += cv;
                             }
                         }
                     }

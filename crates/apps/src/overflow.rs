@@ -362,7 +362,7 @@ pub fn step_time_s(device: Device, ranks: u32, threads_per_rank: u32) -> f64 {
     }
 
     // Halo exchange: two neighbors per rank, one zone face each.
-    let face_bytes = ((10.8e6 / 23.0) as f64).powf(2.0 / 3.0) * 5.0 * 8.0;
+    let face_bytes = (10.8e6 / 23.0_f64).powf(2.0 / 3.0) * 5.0 * 8.0;
     let tpc = match device {
         Device::Host => 1 + (total > 16) as u32,
         _ => total.div_ceil(59).min(4),

@@ -61,7 +61,7 @@ impl CacheSpec {
     pub fn num_sets(&self) -> u64 {
         let ways_bytes = self.line_bytes as u64 * self.associativity as u64;
         assert!(
-            ways_bytes > 0 && self.size_bytes % ways_bytes == 0,
+            ways_bytes > 0 && self.size_bytes.is_multiple_of(ways_bytes),
             "inconsistent cache geometry: {} B / ({} B line x {} ways)",
             self.size_bytes,
             self.line_bytes,

@@ -1,0 +1,34 @@
+//! The `maia-bench` CLI: parallel, cached regeneration of every table
+//! and figure. See `maia_bench::cli::USAGE` for the grammar.
+
+use maia_bench::cli::{self, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match cli::parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            0
+        }
+        Ok(Command::List) => {
+            print!("{}", cli::render_list());
+            0
+        }
+        Ok(Command::Run(opts)) => match cli::execute_run(&opts) {
+            Ok((payload, report)) => {
+                print!("{payload}");
+                eprint!("{}", report.timing_summary());
+                0
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("maia-bench: {e}\n\n{}", cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

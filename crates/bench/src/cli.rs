@@ -1,0 +1,289 @@
+//! Argument parsing and driver for the `maia-bench` binary.
+//!
+//! Kept in the library (not `src/bin/`) so the parser and the render
+//! paths are unit-testable without spawning processes. The grammar is
+//! deliberately tiny — no external argument-parsing crate:
+//!
+//! ```text
+//! maia-bench run [--all] [--only F04,F21,...] [--format md|csv|json]
+//!                [--out DIR] [--jobs N] [--bench-json PATH]
+//! maia-bench list
+//! maia-bench help
+//! ```
+
+use std::path::PathBuf;
+
+use maia_core::{all_experiments, run_experiments_parallel, ExperimentId, SweepReport};
+
+/// Output format for experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// GitHub-flavoured Markdown (default).
+    Md,
+    /// Comma-separated values.
+    Csv,
+    /// JSON objects.
+    Json,
+}
+
+impl Format {
+    fn parse(text: &str) -> Result<Format, String> {
+        match text {
+            "md" | "markdown" => Ok(Format::Md),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format '{other}' (expected md, csv or json)")),
+        }
+    }
+
+    /// File extension used with `--out`.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Md => "md",
+            Format::Csv => "csv",
+            Format::Json => "json",
+        }
+    }
+
+    fn render(self, data: &maia_core::FigureData) -> String {
+        match self {
+            Format::Md => data.to_markdown(),
+            Format::Csv => data.to_csv(),
+            Format::Json => data.to_json(),
+        }
+    }
+}
+
+/// Parsed `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Experiments to run, in request order.
+    pub ids: Vec<ExperimentId>,
+    /// Output format.
+    pub format: Format,
+    /// Write one file per experiment here instead of stdout.
+    pub out: Option<PathBuf>,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Write the machine-readable timing record here.
+    pub bench_json: Option<PathBuf>,
+}
+
+/// One parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `maia-bench run ...`
+    Run(RunOptions),
+    /// `maia-bench list`
+    List,
+    /// `maia-bench help` (or no arguments).
+    Help,
+}
+
+/// Usage text shown by `help` and on parse errors.
+pub const USAGE: &str = "\
+maia-bench — regenerate the paper's tables and figures
+
+USAGE:
+    maia-bench run [--all] [--only CODES] [--format md|csv|json]
+                   [--out DIR] [--jobs N] [--bench-json PATH]
+    maia-bench list
+    maia-bench help
+
+OPTIONS (run):
+    --all              Run every experiment (default when --only absent)
+    --only CODES       Comma-separated codes, e.g. F04,F21 (F4/T1 also accepted)
+    --format FORMAT    md (default), csv or json
+    --out DIR          Write one file per experiment (<code>.<ext>) instead of stdout
+    --jobs N           Worker threads (default: available cores)
+    --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
+
+Tables go to stdout (or --out DIR); the per-experiment timing summary
+always goes to stderr.
+";
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parse the argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("run") => {
+            let mut only: Option<Vec<ExperimentId>> = None;
+            let mut all = false;
+            let mut format = Format::Md;
+            let mut out = None;
+            let mut jobs = default_jobs();
+            let mut bench_json = None;
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--all" => all = true,
+                    "--only" => {
+                        let list = value("--only")?;
+                        let mut ids = Vec::new();
+                        for code in list.split(',').filter(|s| !s.is_empty()) {
+                            let id = ExperimentId::parse(code)
+                                .ok_or_else(|| format!("unknown experiment '{code}'"))?;
+                            if !ids.contains(&id) {
+                                ids.push(id);
+                            }
+                        }
+                        if ids.is_empty() {
+                            return Err("--only given an empty list".into());
+                        }
+                        only = Some(ids);
+                    }
+                    "--format" => format = Format::parse(&value("--format")?)?,
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--jobs" => {
+                        jobs = value("--jobs")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs requires a positive integer")?;
+                    }
+                    "--bench-json" => bench_json = Some(PathBuf::from(value("--bench-json")?)),
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            if all && only.is_some() {
+                return Err("--all and --only are mutually exclusive".into());
+            }
+            Ok(Command::Run(RunOptions {
+                ids: only.unwrap_or_else(all_experiments),
+                format,
+                out,
+                jobs,
+                bench_json,
+            }))
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Render the `list` subcommand.
+pub fn render_list() -> String {
+    let mut out = String::new();
+    for id in all_experiments() {
+        let meta = id.meta();
+        out.push_str(&format!("{:<4} {}\n", meta.code, meta.title));
+    }
+    out
+}
+
+/// Run the sweep and render the tables in request order.
+///
+/// Returns the concatenated stdout payload and the report (for the
+/// timing summary and `--bench-json`). With `--out`, tables are written
+/// to files and the payload lists the paths instead.
+pub fn execute_run(opts: &RunOptions) -> Result<(String, SweepReport), String> {
+    let report = run_experiments_parallel(&opts.ids, opts.jobs);
+    let mut payload = String::new();
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for run in &report.runs {
+            let path = dir.join(format!("{}.{}", run.id.meta().code, opts.format.extension()));
+            std::fs::write(&path, opts.format.render(&run.data))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            payload.push_str(&format!("{}\n", path.display()));
+        }
+    } else {
+        for run in &report.runs {
+            payload.push_str(&opts.format.render(&run.data));
+            payload.push('\n');
+        }
+    }
+    if let Some(path) = &opts.bench_json {
+        std::fs::write(path, report.to_bench_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok((payload, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse(&owned).expect("parse failed")
+    }
+
+    #[test]
+    fn run_defaults_to_all_experiments() {
+        let Command::Run(opts) = parse_ok(&["run", "--jobs", "2"]) else {
+            panic!("expected run");
+        };
+        assert_eq!(opts.ids, all_experiments());
+        assert_eq!(opts.jobs, 2);
+        assert_eq!(opts.format, Format::Md);
+        assert!(opts.out.is_none());
+    }
+
+    #[test]
+    fn only_accepts_both_code_spellings() {
+        let Command::Run(opts) = parse_ok(&["run", "--only", "F04,f21,T1", "--format", "json"])
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            opts.ids,
+            vec![
+                ExperimentId::F4Stream,
+                ExperimentId::F21Cart3d,
+                ExperimentId::T1Table
+            ]
+        );
+        assert_eq!(opts.format, Format::Json);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        for bad in [
+            vec!["run", "--only", "F99"],
+            vec!["run", "--jobs", "0"],
+            vec!["run", "--format", "xml"],
+            vec!["run", "--all", "--only", "F04"],
+            vec!["frobnicate"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse(&owned).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn list_mentions_every_code() {
+        let listing = render_list();
+        for id in all_experiments() {
+            assert!(listing.contains(id.meta().code));
+        }
+    }
+
+    #[test]
+    fn run_writes_files_and_bench_json() {
+        let dir = std::env::temp_dir().join("maia-bench-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            ids: vec![ExperimentId::T1Table, ExperimentId::F17Io],
+            format: Format::Csv,
+            out: Some(dir.clone()),
+            jobs: 2,
+            bench_json: Some(dir.join("BENCH.json")),
+        };
+        let (payload, report) = execute_run(&opts).expect("run failed");
+        assert!(payload.contains("T01.csv") && payload.contains("F17.csv"));
+        assert_eq!(report.runs.len(), 2);
+        let bench = std::fs::read_to_string(dir.join("BENCH.json")).unwrap();
+        assert!(bench.contains("\"jobs\": 2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

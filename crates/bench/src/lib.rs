@@ -1,18 +1,29 @@
-//! # maia-bench — figure regeneration binaries and Criterion benches
+//! # maia-bench — the experiment CLI, figure binaries and Criterion benches
 //!
-//! Every table/figure of the paper has a `fig_*` binary that prints the
-//! regenerated data (CSV to stdout with `--csv`, Markdown otherwise), all
-//! driven by `maia-core`'s experiment registry. The `report` binary
-//! writes the complete EXPERIMENTS.md. Criterion benches measure the
-//! *real* kernels (STREAM, EPCC constructs, NPB classes) on the build
-//! machine, and the `ablation_*` binaries quantify the design choices
-//! called out in DESIGN.md.
+//! The `maia-bench` binary is the front door: `maia-bench run --all
+//! --jobs 4` regenerates every table/figure of the paper in parallel
+//! through `maia_core::run_experiments_parallel`, with `--only`,
+//! `--format md|csv|json`, `--out DIR` and a timing summary on stderr.
+//! The per-figure `fig_*` binaries are thin aliases over the same runner
+//! (CSV to stdout with `--csv`, Markdown otherwise), kept for muscle
+//! memory and scripts. The `report` binary writes the complete
+//! EXPERIMENTS.md. Criterion benches measure the *real* kernels (STREAM,
+//! EPCC constructs, NPB classes) on the build machine, and the
+//! `ablation_*` binaries quantify the design choices called out in
+//! DESIGN.md.
+
+pub mod cli;
 
 use maia_core::{run_experiment, ExperimentId};
 
 /// Print one experiment to stdout in the format selected by argv.
+///
+/// This is the whole body of every `fig_*` binary: it routes through the
+/// same [`maia_core::executor`] machinery the parallel sweep uses, so a
+/// standalone figure run and a `maia-bench run --all` sweep produce
+/// byte-identical output.
 pub fn emit(id: ExperimentId) {
-    let data = run_experiment(id);
+    let data = maia_core::executor::run_one(id);
     let csv = std::env::args().any(|a| a == "--csv");
     if csv {
         print!("{}", data.to_csv());

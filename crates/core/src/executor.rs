@@ -1,0 +1,202 @@
+//! The parallel experiment runner: one thread pool, all experiments.
+//!
+//! Replaces "run 21 binaries one after another" with a single sweep that
+//! work-shares the experiment list across a reused [`maia_omp::Team`]
+//! (the same pool runtime the OpenMP figures model, here doing real
+//! work). Experiments are claimed longest-estimated-first under dynamic
+//! self-scheduling, so the expensive 236-rank collective worlds start
+//! immediately and short figures fill the tail.
+//!
+//! Output is deterministic and identical to serial execution: every
+//! experiment builds its own [`FigureData`] from deterministic models, and
+//! the [`crate::cache`] layer guarantees a shared sub-model is computed
+//! once and reused bit-identically regardless of which experiment reaches
+//! it first.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use maia_omp::{Schedule, Team};
+
+use crate::cache;
+use crate::experiments::{run_experiment, ExperimentId};
+use crate::figdata::FigureData;
+
+/// One finished experiment with its wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Which experiment ran.
+    pub id: ExperimentId,
+    /// The regenerated table.
+    pub data: FigureData,
+    /// Wall-clock time this experiment took inside the sweep.
+    pub wall: Duration,
+}
+
+/// Result of a full sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Finished experiments, in the order they were requested.
+    pub runs: Vec<ExperimentRun>,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Cache effectiveness over the sweep.
+    pub cache: cache::CacheStats,
+}
+
+impl SweepReport {
+    /// Human-readable per-experiment timing summary (for stderr).
+    pub fn timing_summary(&self) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&ExperimentRun> = self.runs.iter().collect();
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.wall));
+        for run in sorted {
+            out.push_str(&format!(
+                "{:<4} {:>9.1} ms  {}\n",
+                run.id.meta().code,
+                run.wall.as_secs_f64() * 1e3,
+                run.id.meta().title,
+            ));
+        }
+        let serial: f64 = self.runs.iter().map(|r| r.wall.as_secs_f64()).sum();
+        out.push_str(&format!(
+            "total {:.1} ms wall on {} job(s); {:.1} ms summed across experiments; \
+             cache {} hit / {} miss\n",
+            self.wall.as_secs_f64() * 1e3,
+            self.jobs,
+            serial * 1e3,
+            self.cache.hits,
+            self.cache.misses,
+        ));
+        out
+    }
+
+    /// Machine-readable timing record (`BENCH_*.json` trajectory).
+    pub fn to_bench_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"wall_s\": {:.6},\n",
+            self.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},\n",
+            self.cache.hits, self.cache.misses
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"code\": \"{}\", \"wall_s\": {:.6} }}{}\n",
+                run.id.meta().code,
+                run.wall.as_secs_f64(),
+                if i + 1 == self.runs.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Run `ids` across `jobs` worker threads and collect the tables.
+///
+/// `jobs` is clamped to `[1, ids.len()]`. The returned runs are in the
+/// same order as `ids` regardless of completion order.
+pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepReport {
+    let start = Instant::now();
+    let cache_before = cache::stats();
+    let jobs = jobs.max(1).min(ids.len().max(1));
+
+    // Longest-estimated-first claim order (LPT): index list sorted by
+    // descending cost, claimed one at a time by whichever worker is free.
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(ids[i].meta().cost_estimate));
+
+    let slots: Mutex<Vec<Option<ExperimentRun>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
+    let team = Team::new(jobs);
+    team.parallel_for(0..order.len(), Schedule::Dynamic { chunk: 1 }, |k| {
+        let idx = order[k];
+        let id = ids[idx];
+        let t0 = Instant::now();
+        let data = run_experiment(id);
+        let run = ExperimentRun {
+            id,
+            data,
+            wall: t0.elapsed(),
+        };
+        slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(run);
+    });
+
+    let runs: Vec<ExperimentRun> = slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("worker finished without storing a result"))
+        .collect();
+
+    let cache_after = cache::stats();
+    SweepReport {
+        runs,
+        wall: start.elapsed(),
+        jobs,
+        cache: cache::CacheStats {
+            hits: cache_after.hits - cache_before.hits,
+            misses: cache_after.misses - cache_before.misses,
+        },
+    }
+}
+
+/// Serial convenience wrapper: run one experiment through the same
+/// machinery the sweep uses (shared cache, timed) and return its table.
+pub fn run_one(id: ExperimentId) -> FigureData {
+    let report = run_experiments_parallel(&[id], 1);
+    report.runs.into_iter().next().expect("one run requested").data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_requested_order() {
+        let ids = [
+            ExperimentId::F18OffloadBw,
+            ExperimentId::T1Table,
+            ExperimentId::F17Io,
+        ];
+        let report = run_experiments_parallel(&ids, 2);
+        let got: Vec<ExperimentId> = report.runs.iter().map(|r| r.id).collect();
+        assert_eq!(got, ids);
+        assert_eq!(report.jobs, 2);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial() {
+        let ids = [
+            ExperimentId::F7PcieLatency,
+            ExperimentId::F18OffloadBw,
+            ExperimentId::F17Io,
+            ExperimentId::T1Table,
+        ];
+        let parallel = run_experiments_parallel(&ids, 4);
+        for run in &parallel.runs {
+            let serial = run_experiment(run.id);
+            assert_eq!(run.data.to_markdown(), serial.to_markdown());
+            assert_eq!(run.data.to_csv(), serial.to_csv());
+        }
+    }
+
+    #[test]
+    fn timing_summary_and_json_mention_every_code() {
+        let ids = [ExperimentId::T1Table, ExperimentId::F17Io];
+        let report = run_experiments_parallel(&ids, 1);
+        let summary = report.timing_summary();
+        let json = report.to_bench_json();
+        for id in ids {
+            assert!(summary.contains(id.meta().code));
+            assert!(json.contains(id.meta().code));
+        }
+        assert!(json.contains("\"jobs\": 1"));
+    }
+}

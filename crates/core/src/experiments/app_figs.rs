@@ -61,38 +61,6 @@ pub fn fig23_overflow_symmetric() -> FigureData {
     f
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fig21_ratio() {
-        let f = fig21_cart3d();
-        let best_phi = f
-            .rows
-            .iter()
-            .filter(|r| r[0] == "phi0")
-            .map(|r| r[2].parse::<f64>().unwrap())
-            .fold(0.0f64, f64::max);
-        assert!((0.35..0.7).contains(&best_phi), "phi/host {best_phi}");
-    }
-
-    #[test]
-    fn fig22_has_both_devices() {
-        let f = fig22_overflow_native();
-        assert!(f.rows.iter().any(|r| r[0] == "host"));
-        assert!(f.rows.iter().any(|r| r[0] == "phi0"));
-    }
-
-    #[test]
-    fn fig23_gains_positive() {
-        let f = fig23_overflow_symmetric();
-        for row in &f.rows {
-            assert!(row[3].parse::<f64>().unwrap() > 0.0);
-        }
-    }
-}
-
 /// A2 (beyond paper): the hybrid OVERFLOW proxy with its zones dealt to
 /// simulated MPI ranks — residuals match the shared-memory solver while
 /// the fabric prices the Chimera exchanges.
@@ -130,4 +98,36 @@ pub fn a2_overflow_hybrid() -> FigureData {
     );
     f.note("The symmetric layout's Chimera planes cross PCIe: its communication fraction dwarfs the single-device layouts', the paper's core symmetric-mode observation.");
     f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_ratio() {
+        let f = fig21_cart3d();
+        let best_phi = f
+            .rows
+            .iter()
+            .filter(|r| r[0] == "phi0")
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .fold(0.0f64, f64::max);
+        assert!((0.35..0.7).contains(&best_phi), "phi/host {best_phi}");
+    }
+
+    #[test]
+    fn fig22_has_both_devices() {
+        let f = fig22_overflow_native();
+        assert!(f.rows.iter().any(|r| r[0] == "host"));
+        assert!(f.rows.iter().any(|r| r[0] == "phi0"));
+    }
+
+    #[test]
+    fn fig23_gains_positive() {
+        let f = fig23_overflow_symmetric();
+        for row in &f.rows {
+            assert!(row[3].parse::<f64>().unwrap() > 0.0);
+        }
+    }
 }

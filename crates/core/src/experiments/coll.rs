@@ -2,9 +2,29 @@
 //! point runs the real collective algorithm on the discrete-event engine.
 
 use maia_arch::Device;
-use maia_mpi::bench::{alltoall_time, collective_time, ring_sendrecv, CollectiveOp};
+use maia_mpi::bench::{alltoall_time, collective_time, ring_sendrecv, CollectiveOp, P2pPoint};
+use maia_mpi::memory::OomError;
 
+use crate::cache;
 use crate::figdata::{fmt_bytes, FigureData};
+
+/// Memoized collective world run. The 236-rank worlds are the most
+/// expensive sub-models in the registry; within one process each
+/// (device, ranks, size, op) point simulates once.
+fn cached_collective_time(device: Device, ranks: usize, bytes: u64, op: CollectiveOp) -> f64 {
+    let key = format!("coll/{device:?}/{ranks}/{bytes}/{op:?}");
+    cache::memo(&key, || collective_time(device, ranks, bytes, op))
+}
+
+fn cached_ring_sendrecv(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
+    let key = format!("ring/{device:?}/{ranks}/{bytes}");
+    cache::memo(&key, || ring_sendrecv(device, ranks, bytes))
+}
+
+fn cached_alltoall_time(device: Device, ranks: usize, bytes: u64) -> Result<f64, OomError> {
+    let key = format!("alltoall/{device:?}/{ranks}/{bytes}");
+    cache::memo(&key, || alltoall_time(device, ranks, bytes))
+}
 
 /// The three configurations the paper compares.
 const CONFIGS: [(&str, Device, usize); 3] = [
@@ -24,7 +44,7 @@ pub fn fig10_sendrecv() -> FigureData {
     );
     for (label, dev, ranks) in CONFIGS {
         for &size in &SIZES {
-            let p = ring_sendrecv(dev, ranks, size);
+            let p = cached_ring_sendrecv(dev, ranks, size);
             f.push_row(vec![
                 label.into(),
                 fmt_bytes(size),
@@ -45,7 +65,7 @@ fn collective_fig(
     let mut f = FigureData::new(id, title, &["config", "size", "time us"]);
     for (label, dev, ranks) in CONFIGS {
         for &size in &SIZES {
-            let t = collective_time(dev, ranks, size, op);
+            let t = cached_collective_time(dev, ranks, size, op);
             f.push_row(vec![label.into(), fmt_bytes(size), format!("{:.1}", t * 1e6)]);
         }
     }
@@ -84,7 +104,7 @@ pub fn fig13_allgather() -> FigureData {
     let sizes = [64u64, 1024, 2 * 1024, 4 * 1024, 8 * 1024, 64 * 1024];
     for (label, dev, ranks) in CONFIGS {
         for &size in &sizes {
-            let t = collective_time(dev, ranks, size, CollectiveOp::Allgather);
+            let t = cached_collective_time(dev, ranks, size, CollectiveOp::Allgather);
             f.push_row(vec![label.into(), fmt_bytes(size), format!("{:.1}", t * 1e6)]);
         }
     }
@@ -102,7 +122,7 @@ pub fn fig14_alltoall() -> FigureData {
     let sizes = [64u64, 1024, 4 * 1024, 8 * 1024, 64 * 1024];
     for (label, dev, ranks) in CONFIGS {
         for &size in &sizes {
-            let cell = match alltoall_time(dev, ranks, size) {
+            let cell = match cached_alltoall_time(dev, ranks, size) {
                 Ok(t) => format!("{:.1}", t * 1e6),
                 Err(e) => format!("OOM ({:.1} GB needed)", e.required_bytes as f64 / 1e9),
             };

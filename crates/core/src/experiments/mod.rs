@@ -103,6 +103,88 @@ pub fn all_experiments() -> Vec<ExperimentId> {
     ]
 }
 
+/// Static metadata about one experiment, used by the parallel runner for
+/// scheduling and by the CLI for selection and display.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentMeta {
+    /// Canonical zero-padded code (`"T01"`, `"F04"`, `"A01"`), accepted by
+    /// `maia-bench run --only` alongside the short `FigureData` id.
+    pub code: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Relative cost estimate (arbitrary units ~ serial milliseconds).
+    /// The executor schedules longest-first so stragglers start early.
+    pub cost_estimate: u32,
+    /// Experiments whose cached sub-models this one reuses. Purely
+    /// informational: the cache makes order irrelevant for correctness.
+    pub depends_on: &'static [ExperimentId],
+    /// Seed for any stochastic sub-model (pointer-chase shuffles, EP
+    /// streams). Fixed per experiment so reruns are bit-identical.
+    pub seed: u64,
+}
+
+impl ExperimentId {
+    /// Metadata for this experiment.
+    pub fn meta(self) -> ExperimentMeta {
+        use ExperimentId::*;
+        let (code, title, cost_estimate, depends_on): (_, _, u32, &'static [ExperimentId]) =
+            match self {
+                T1Table => ("T01", "Table 1: system characteristics", 1, &[]),
+                F4Stream => ("F04", "STREAM triad bandwidth vs threads", 2, &[]),
+                F5Latency => ("F05", "Memory load latency vs working set", 2, &[]),
+                F6Bandwidth => ("F06", "Per-core bandwidth vs working set", 2, &[]),
+                F7PcieLatency => ("F07", "MPI latency over PCIe", 5, &[]),
+                F8PcieBandwidth => ("F08", "MPI bandwidth over PCIe", 20, &[F7PcieLatency]),
+                F9UpdateGain => ("F09", "Post/pre update bandwidth gain", 20, &[F8PcieBandwidth]),
+                F10SendRecv => ("F10", "MPI_Send/Recv ring", 300, &[]),
+                F11Bcast => ("F11", "MPI_Bcast", 250, &[]),
+                F12Allreduce => ("F12", "MPI_Allreduce", 350, &[]),
+                F13Allgather => ("F13", "MPI_Allgather", 500, &[]),
+                F14Alltoall => ("F14", "MPI_Alltoall with OOM gating", 600, &[]),
+                F15OmpSync => ("F15", "OpenMP synchronization overheads", 50, &[]),
+                F16OmpSched => ("F16", "OpenMP scheduling overheads", 50, &[]),
+                F17Io => ("F17", "Sequential I/O bandwidth", 1, &[]),
+                F18OffloadBw => ("F18", "Offload PCIe bandwidth", 1, &[]),
+                F19NpbOmp => ("F19", "NPB OpenMP performance", 400, &[F4Stream]),
+                F20NpbMpi => ("F20", "NPB MPI performance", 700, &[]),
+                F21Cart3d => ("F21", "Cart3D native host vs Phi", 100, &[F4Stream]),
+                F22OverflowNative => ("F22", "OVERFLOW native sweep", 100, &[F4Stream]),
+                F23OverflowSymmetric => ("F23", "OVERFLOW symmetric pre/post", 200, &[]),
+                F24MgCollapse => ("F24", "MG loop-collapse gain", 100, &[]),
+                F25MgModes => ("F25", "MG native and offload modes", 100, &[]),
+                F26OffloadOverhead => ("F26", "Offload overhead breakdown", 50, &[]),
+                F27OffloadCost => ("F27", "Offload invocations and volume", 50, &[]),
+                A1NpbMpiMeasured => ("A01", "Distributed NPB kernels (measured)", 800, &[]),
+                A2OverflowHybrid => ("A02", "Hybrid OVERFLOW zones (measured)", 400, &[]),
+            };
+        ExperimentMeta {
+            code,
+            title,
+            cost_estimate,
+            depends_on,
+            // Decorrelated per-experiment stream; any fixed constant works,
+            // it only has to be stable across runs.
+            seed: 0x6D61_6961_0000_0000 | code.as_bytes()[0] as u64 | (cost_estimate as u64) << 8,
+        }
+    }
+
+    /// Parse a user-supplied experiment code: accepts the canonical
+    /// zero-padded form (`F04`), the short `FigureData` id (`F4`, `T1`),
+    /// and lowercase variants.
+    pub fn parse(text: &str) -> Option<ExperimentId> {
+        let want = text.trim().to_ascii_uppercase();
+        all_experiments().into_iter().find(|&id| {
+            let meta = id.meta();
+            let short = {
+                // "F04" -> "F4"; "T01" -> "T1"; "F10" stays "F10".
+                let (prefix, digits) = meta.code.split_at(1);
+                format!("{prefix}{}", digits.trim_start_matches('0'))
+            };
+            want == meta.code || want == short
+        })
+    }
+}
+
 /// Regenerate the data for one experiment.
 pub fn run_experiment(id: ExperimentId) -> FigureData {
     use ExperimentId::*;

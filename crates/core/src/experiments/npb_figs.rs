@@ -266,6 +266,52 @@ pub fn fig27_offload_cost() -> FigureData {
     f
 }
 
+/// A1 (beyond paper): distributed NPB kernels executed for real over the
+/// simulated fabric — virtual wall times per device.
+pub fn a1_npb_mpi_measured() -> FigureData {
+    use maia_mpi::WorldSpec;
+    use maia_npb::mpi_npb;
+    let mut f = FigureData::new(
+        "A1",
+        "Distributed NPB (small problems, real numerics) on the simulated fabric",
+        &["benchmark", "ranks", "host ms", "phi0 ms", "phi/host"],
+    );
+    let ranks = 8usize;
+    let host = WorldSpec::all_on(Device::Host, ranks);
+    let phi = WorldSpec::all_on(Device::Phi0, ranks);
+    let mut row = |name: &str, h: f64, p: f64| {
+        f.push_row(vec![
+            name.into(),
+            ranks.to_string(),
+            format!("{:.3}", h * 1e3),
+            format!("{:.3}", p * 1e3),
+            format!("{:.1}", p / h),
+        ]);
+    };
+    row(
+        "EP (2^18 pairs)",
+        mpi_npb::ep_mpi(18, &host).wall_s,
+        mpi_npb::ep_mpi(18, &phi).wall_s,
+    );
+    row(
+        "CG (n=600)",
+        mpi_npb::cg_mpi(600, 5, 3, 10.0, &host).wall_s,
+        mpi_npb::cg_mpi(600, 5, 3, 10.0, &phi).wall_s,
+    );
+    row(
+        "FT (16^3)",
+        mpi_npb::ft_mpi(16, 16, 16, &host).wall_s,
+        mpi_npb::ft_mpi(16, 16, 16, &phi).wall_s,
+    );
+    row(
+        "IS (2^14 keys)",
+        mpi_npb::is_mpi(14, 10, &host).wall_s,
+        mpi_npb::is_mpi(14, 10, &phi).wall_s,
+    );
+    f.note("Results are bit-verified against the shared-memory kernels; only the virtual communication time differs between devices.");
+    f
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,50 +429,4 @@ mod tests {
         assert!(gb("offload-loop") > gb("offload-resid"));
         assert!(gb("offload-resid") > gb("offload-whole"));
     }
-}
-
-/// A1 (beyond paper): distributed NPB kernels executed for real over the
-/// simulated fabric — virtual wall times per device.
-pub fn a1_npb_mpi_measured() -> FigureData {
-    use maia_mpi::WorldSpec;
-    use maia_npb::mpi_npb;
-    let mut f = FigureData::new(
-        "A1",
-        "Distributed NPB (small problems, real numerics) on the simulated fabric",
-        &["benchmark", "ranks", "host ms", "phi0 ms", "phi/host"],
-    );
-    let ranks = 8usize;
-    let host = WorldSpec::all_on(Device::Host, ranks);
-    let phi = WorldSpec::all_on(Device::Phi0, ranks);
-    let mut row = |name: &str, h: f64, p: f64| {
-        f.push_row(vec![
-            name.into(),
-            ranks.to_string(),
-            format!("{:.3}", h * 1e3),
-            format!("{:.3}", p * 1e3),
-            format!("{:.1}", p / h),
-        ]);
-    };
-    row(
-        "EP (2^18 pairs)",
-        mpi_npb::ep_mpi(18, &host).wall_s,
-        mpi_npb::ep_mpi(18, &phi).wall_s,
-    );
-    row(
-        "CG (n=600)",
-        mpi_npb::cg_mpi(600, 5, 3, 10.0, &host).wall_s,
-        mpi_npb::cg_mpi(600, 5, 3, 10.0, &phi).wall_s,
-    );
-    row(
-        "FT (16^3)",
-        mpi_npb::ft_mpi(16, 16, 16, &host).wall_s,
-        mpi_npb::ft_mpi(16, 16, 16, &phi).wall_s,
-    );
-    row(
-        "IS (2^14 keys)",
-        mpi_npb::is_mpi(14, 10, &host).wall_s,
-        mpi_npb::is_mpi(14, 10, &phi).wall_s,
-    );
-    f.note("Results are bit-verified against the shared-memory kernels; only the virtual communication time differs between devices.");
-    f
 }

@@ -78,6 +78,24 @@ impl FigureData {
         out
     }
 
+    /// JSON rendering: `{id, title, headers, rows, notes}` with rows as
+    /// arrays of strings (cells are pre-formatted, like the other emitters).
+    pub fn to_json(&self) -> String {
+        fn arr(items: &[String]) -> String {
+            let cells: Vec<String> = items.iter().map(|s| json_escape(s)).collect();
+            format!("[{}]", cells.join(", "))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": [\n{}\n  ],\n  \"notes\": {}\n}}\n",
+            json_escape(self.id),
+            json_escape(&self.title),
+            arr(&self.headers),
+            rows.join(",\n"),
+            arr(&self.notes),
+        )
+    }
+
     /// CSV rendering (header + rows).
     pub fn to_csv(&self) -> String {
         let mut out = self.headers.join(",");
@@ -102,6 +120,25 @@ pub fn write_all_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::Pa
         paths.push(path);
     }
     Ok(paths)
+}
+
+/// Quote and escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format helper: engineering notation for byte counts.
@@ -140,6 +177,17 @@ mod tests {
         let csv = sample().to_csv();
         assert!(csv.starts_with("size,value\n"));
         assert!(csv.contains("128B,2.5"));
+    }
+
+    #[test]
+    fn json_has_every_section_and_escapes() {
+        let mut f = sample();
+        f.note("quote \" and backslash \\ survive");
+        let j = f.to_json();
+        assert!(j.contains("\"id\": \"F0\""));
+        assert!(j.contains("[\"size\", \"value\"]"));
+        assert!(j.contains("[\"64B\", \"1.5\"]"));
+        assert!(j.contains("quote \\\" and backslash \\\\ survive"));
     }
 
     #[test]

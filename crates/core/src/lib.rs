@@ -16,11 +16,14 @@
 //! The per-figure binaries in `maia-bench` and the EXPERIMENTS.md report
 //! are thin wrappers over this API.
 
+pub mod cache;
+pub mod executor;
 pub mod experiments;
 pub mod figdata;
 pub mod paper;
 
-pub use experiments::{all_experiments, run_experiment, ExperimentId};
+pub use executor::{run_experiments_parallel, ExperimentRun, SweepReport};
+pub use experiments::{all_experiments, run_experiment, ExperimentId, ExperimentMeta};
 pub use figdata::{write_all_csv, FigureData};
 
 /// Library version, mirrored from the workspace.

@@ -65,7 +65,10 @@ impl SoftwareStack {
         match self {
             SoftwareStack::PreUpdate => Provider::CclDirect,
             SoftwareStack::PostUpdate => {
-                if bytes > SCIF_THRESHOLD {
+                // `I_MPI_DAPL_DIRECT_COPY_THRESHOLD=8192,262144`: the
+                // second provider takes over AT the threshold, not one
+                // byte past it.
+                if bytes >= SCIF_THRESHOLD {
                     Provider::Scif
                 } else {
                     Provider::CclDirect
@@ -76,7 +79,10 @@ impl SoftwareStack {
 
     /// Which protocol carries a message of `bytes`.
     pub fn protocol_for(self, bytes: u64) -> Protocol {
-        if bytes <= EAGER_THRESHOLD {
+        // Messages strictly shorter than the first threshold go eager;
+        // a message of exactly 8192 bytes already pays the rendezvous
+        // handshake (Intel MPI threshold semantics).
+        if bytes < EAGER_THRESHOLD {
             Protocol::Eager
         } else {
             match self {
@@ -211,7 +217,7 @@ mod tests {
         // Small/medium messages: modest gains (1–1.5x).
         for kb in [1u64, 4, 64, 128] {
             let g = SoftwareStack::update_gain(NodePath::HostPhi0, kb * 1024);
-            assert!(g >= 0.99 && g < 1.6, "gain at {kb} KB: {g}");
+            assert!((0.99..1.6).contains(&g), "gain at {kb} KB: {g}");
         }
     }
 

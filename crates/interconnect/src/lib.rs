@@ -19,7 +19,7 @@ pub mod paths;
 pub mod pcie;
 pub mod ring;
 
-pub use dapl::{Protocol, Provider, SoftwareStack};
+pub use dapl::{Protocol, Provider, SoftwareStack, EAGER_THRESHOLD, SCIF_THRESHOLD};
 pub use ib::IbLink;
 pub use paths::NodePath;
 pub use pcie::PcieModel;

@@ -30,7 +30,7 @@ impl SetAssocCache {
         assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0);
         let ways_bytes = line_bytes as u64 * associativity as u64;
         assert!(
-            size_bytes % ways_bytes == 0,
+            size_bytes.is_multiple_of(ways_bytes),
             "cache size {size_bytes} not divisible by line x ways = {ways_bytes}"
         );
         let num_sets = size_bytes / ways_bytes;

@@ -3,8 +3,8 @@
 //! 25–27.
 //!
 //! The paper decomposes offload cost into three parts (Section 6.9.1.4):
-//! setup + data gather/scatter on the host, PCIe transfer time, and setup
-//! + gather/scatter on the Phi. Those are exactly the terms of
+//! setup and data gather/scatter on the host, PCIe transfer time, and
+//! setup and gather/scatter on the Phi. Those are exactly the terms of
 //! [`OffloadPlan::report`]; the compute itself is priced by the
 //! [`PerfModel`] roofline engine. Whether offload wins is then a pure
 //! arithmetic question of invocation count × overhead vs. device speedup

@@ -161,7 +161,7 @@ impl Rank<'_> {
 
         // Fold: the first 2*rem ranks pair up (even sends to odd).
         let newrank: Option<usize> = if me < 2 * rem {
-            if me % 2 == 0 {
+            if me.is_multiple_of(2) {
                 self.send(me + 1, TAG_ALLREDUCE, bytes);
                 None // retires from the doubling phase
             } else {
@@ -191,7 +191,7 @@ impl Rank<'_> {
 
         // Unfold: odd partners return the result to the retired evens.
         if me < 2 * rem {
-            if me % 2 == 0 {
+            if me.is_multiple_of(2) {
                 let _ = self.recv(Some(me + 1), TAG_ALLREDUCE + 1_000);
             } else {
                 self.send(me - 1, TAG_ALLREDUCE + 1_000, bytes);

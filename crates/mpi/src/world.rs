@@ -624,7 +624,9 @@ mod stats_tests {
         let spec = WorldSpec::symmetric(2, 1, SoftwareStack::PostUpdate);
         let res = MpiWorld::run(&spec, |rank| {
             rank.compute(SimDuration::from_us(5.0));
-            rank.allreduce(256 * 1024);
+            // Just under the SCIF switch: the message stays on the slow
+            // CCL-direct band, which is what dominates phi-side comm.
+            rank.allreduce(255 * 1024);
         })
         .unwrap();
         // Ranks crossing PCIe accumulate far more communication time

@@ -114,7 +114,7 @@ pub fn adi_blocks() -> (Mat5, Mat5, Mat5) {
 pub fn solve_block_tridiag(blocks: (Mat5, Mat5, Mat5), rhs: &mut [f64]) {
     let (sub, diag, sup) = blocks;
     let n = rhs.len() / NVAR;
-    assert!(n >= 2 && rhs.len() % NVAR == 0);
+    assert!(n >= 2 && rhs.len().is_multiple_of(NVAR));
     // Thomas algorithm with block coefficients.
     let mut dprime: Vec<Mat5> = Vec::with_capacity(n);
     dprime.push(diag);
@@ -216,10 +216,10 @@ mod tests {
         let (_, diag, _) = adi_blocks();
         let inv = invert(&diag);
         let prod = matmul(&diag, &inv);
-        for r in 0..NVAR {
-            for c in 0..NVAR {
+        for (r, row) in prod.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                assert!((prod[r][c] - expect).abs() < 1e-12, "({r},{c})");
+                assert!((v - expect).abs() < 1e-12, "({r},{c})");
             }
         }
     }

@@ -31,24 +31,6 @@ impl Complex {
     }
 
     #[inline]
-    pub fn add(self, o: Complex) -> Complex {
-        Complex::new(self.re + o.re, self.im + o.im)
-    }
-
-    #[inline]
-    pub fn sub(self, o: Complex) -> Complex {
-        Complex::new(self.re - o.re, self.im - o.im)
-    }
-
-    #[inline]
-    pub fn mul(self, o: Complex) -> Complex {
-        Complex::new(
-            self.re * o.re - self.im * o.im,
-            self.re * o.im + self.im * o.re,
-        )
-    }
-
-    #[inline]
     pub fn scale(self, s: f64) -> Complex {
         Complex::new(self.re * s, self.im * s)
     }
@@ -56,6 +38,40 @@ impl Complex {
     #[inline]
     pub fn norm_sq(self) -> f64 {
         self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -87,10 +103,10 @@ pub fn fft_line(buf: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = buf[start + k];
-                let v = buf[start + k + len / 2].mul(w);
-                buf[start + k] = u.add(v);
-                buf[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -200,7 +216,7 @@ impl Field {
             let i = j % nx;
             let jj = (3 * j) % ny;
             let kk = (5 * j) % nz;
-            acc = acc.add(self.data[(kk * ny + jj) * nx + i]);
+            acc += self.data[(kk * ny + jj) * nx + i];
         }
         acc.scale(1.0 / 1024.0)
     }

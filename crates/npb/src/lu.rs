@@ -80,7 +80,7 @@ fn sweep(team: &Team, delta: &mut State5, forward: bool) {
                 let (i, j, k) = cells[start + off];
                 let (ii, jj, kk) = (i as isize, j as isize, k as isize);
                 let mut b: Vec5 = [0.0; NVAR];
-                for m in 0..NVAR {
+                for (m, bm) in b.iter_mut().enumerate() {
                     let neigh = if forward {
                         delta.at(ii - 1, jj, kk, m)
                             + delta.at(ii, jj - 1, kk, m)
@@ -90,15 +90,15 @@ fn sweep(team: &Team, delta: &mut State5, forward: bool) {
                             + delta.at(ii, jj + 1, kk, m)
                             + delta.at(ii, jj, kk + 1, m)
                     };
-                    b[m] = delta.at(ii, jj, kk, m) - w * neigh;
+                    *bm = delta.at(ii, jj, kk, m) - w * neigh;
                 }
                 *out = matvec(&dinv, &b);
             }
         });
         for (c, (i, j, k)) in cells.iter().enumerate() {
-            for m in 0..NVAR {
+            for (m, &val) in updates[c].iter().enumerate() {
                 let idx = delta.idx(*i, *j, *k, m);
-                delta.data[idx] = updates[c][m];
+                delta.data[idx] = val;
             }
         }
     }

@@ -76,7 +76,6 @@ fn smooth(team: &Team, u: &mut Grid3, v: &Grid3, collapse: bool) {
     if collapse {
         // Work-share the collapsed (k, j) space in n-sized rows.
         team.parallel_chunks(&mut u.data, |start, chunk| {
-            debug_assert_eq!(start % 1, 0);
             for (off, val) in chunk.iter_mut().enumerate() {
                 let flat = start + off;
                 let i = flat % n;

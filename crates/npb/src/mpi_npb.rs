@@ -214,7 +214,7 @@ pub fn cg_mpi(
 /// Returns the spectrum's checksum after one forward transform.
 pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Complex> {
     let p = spec.size();
-    assert!(nz % p == 0 && nx % p == 0, "slab decomposition needs p | nz and p | nx");
+    assert!(nz.is_multiple_of(p) && nx.is_multiple_of(p), "slab decomposition needs p | nz and p | nx");
     let out: Arc<Mutex<Option<Complex>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
 
@@ -305,7 +305,7 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
             let k = (5 * s) % nz;
             if i / xloc == me {
                 let c = pencil[((i % xloc) * ny + j) * nz + k];
-                checksum_acc = checksum_acc.add(c);
+                checksum_acc += c;
             }
         }
         let mut buf = vec![checksum_acc.re, checksum_acc.im];

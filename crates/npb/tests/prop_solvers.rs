@@ -104,10 +104,10 @@ proptest! {
         }
         let inv = invert(&m);
         let prod = matmul(&m, &inv);
-        for r in 0..5 {
-            for c in 0..5 {
+        for (r, row) in prod.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                prop_assert!((prod[r][c] - expect).abs() < 1e-10);
+                prop_assert!((v - expect).abs() < 1e-10);
             }
         }
     }
@@ -119,14 +119,14 @@ proptest! {
         let mut rng = Ranlc::new(seed % ((1 << 46) - 1) + 1);
         let x: Vec<Complex> = (0..n).map(|_| Complex::new(rng.next_f64(), rng.next_f64())).collect();
         let y: Vec<Complex> = (0..n).map(|_| Complex::new(rng.next_f64(), rng.next_f64())).collect();
-        let mut combo: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| a.scale(scale).add(*b)).collect();
+        let mut combo: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| a.scale(scale) + *b).collect();
         let mut fx = x.clone();
         let mut fy = y.clone();
         fft_line(&mut combo, false);
         fft_line(&mut fx, false);
         fft_line(&mut fy, false);
         for i in 0..n {
-            let expect = fx[i].scale(scale).add(fy[i]);
+            let expect = fx[i].scale(scale) + fy[i];
             prop_assert!((combo[i].re - expect.re).abs() < 1e-9);
             prop_assert!((combo[i].im - expect.im).abs() < 1e-9);
         }

@@ -1,0 +1,641 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reproduces the subset of the API this workspace uses: the `proptest!`
+//! macro with `#![proptest_config(..)]`, range / `Just` / `prop_oneof!` /
+//! `prop_map` / tuple / `any::<T>()` / `prop::collection::vec` strategies,
+//! and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//! - Cases are generated from a deterministic per-(test, case-index) RNG,
+//!   so runs are reproducible but the value stream differs from upstream.
+//! - There is no shrinking. Instead, entries already recorded in a sibling
+//!   `<file>.proptest-regressions` file are REPLAYED before the random
+//!   cases whenever the entry's `name = value` list matches the test's
+//!   parameter list and every value parses as a plain scalar. This keeps
+//!   previously-found counterexamples (e.g. `bytes = 131073`) enforced.
+
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug + Clone;
+
+        /// Produce one value from the deterministic RNG.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Try to reconstruct a value from its regression-file rendering
+        /// (the text after `name = ` in a `# shrinks to` comment).
+        /// `None` means this strategy cannot replay that entry.
+        fn parse_regression(&self, _text: &str) -> Option<Self::Value> {
+            None
+        }
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug + Clone,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V: Debug + Clone> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+        fn parse_regression(&self, text: &str) -> Option<V> {
+            (**self).parse_regression(text)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Debug + Clone>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug + Clone,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_oneof!` adapter: uniform choice over boxed branches.
+    pub struct Union<V> {
+        branches: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: Debug + Clone> Union<V> {
+        /// Build from at least one branch.
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!branches.is_empty(), "prop_oneof! needs at least one arm");
+            Union { branches }
+        }
+    }
+
+    impl<V: Debug + Clone> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = (rng.next_u64() % self.branches.len() as u64) as usize;
+            self.branches[idx].generate(rng)
+        }
+        fn parse_regression(&self, text: &str) -> Option<V> {
+            self.branches.iter().find_map(|b| b.parse_regression(text))
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128).wrapping_sub(self.start as i128);
+                    assert!(span > 0, "cannot sample empty range");
+                    self.start.wrapping_add((rng.next_u64() as i128 % span) as $t)
+                }
+                fn parse_regression(&self, text: &str) -> Option<$t> {
+                    let v: $t = text.trim().parse().ok()?;
+                    self.contains(&v).then_some(v)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + frac * (self.end - self.start)
+        }
+        fn parse_regression(&self, text: &str) -> Option<f64> {
+            let v: f64 = text.trim().parse().ok()?;
+            self.contains(&v).then_some(v)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    }
+}
+
+pub mod arbitrary {
+    use std::fmt::Debug;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Debug + Clone + Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Parse a regression-file rendering of a value.
+        fn from_regression(text: &str) -> Option<Self>;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// `any::<T>()`: the full value space of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+        fn parse_regression(&self, text: &str) -> Option<T> {
+            T::from_regression(text)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+        fn from_regression(text: &str) -> Option<bool> {
+            text.trim().parse().ok()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                fn from_regression(text: &str) -> Option<$t> {
+                    text.trim().parse().ok()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Permitted lengths for a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, 2..10)` or `vec(element, 25)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug + Clone,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::path::{Path, PathBuf};
+
+    /// Per-test configuration; only `cases` matters in this stub.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run (after regression replay).
+        pub cases: u32,
+    }
+
+    /// Upstream-compatible alias used in `proptest_config(..)` expressions.
+    pub use Config as ProptestConfig;
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 stream seeded from (test name, case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one case of one test: same inputs, same stream, on every
+        /// run and every platform.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, then mix in the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Find the test source file on disk. `file!()` is workspace-relative
+    /// while the test binary's cwd is the package dir, so walk up from the
+    /// package's `CARGO_MANIFEST_DIR` until the relative path resolves.
+    fn locate_source(source_file: &str, manifest_dir: &str) -> Option<PathBuf> {
+        let direct = Path::new(source_file);
+        if direct.exists() {
+            return Some(direct.to_path_buf());
+        }
+        let mut base: Option<&Path> = Some(Path::new(manifest_dir));
+        while let Some(dir) = base {
+            let candidate = dir.join(source_file);
+            if candidate.exists() {
+                return Some(candidate);
+            }
+            base = dir.parent();
+        }
+        None
+    }
+
+    /// Read the sibling `.proptest-regressions` file and return, for each
+    /// `# shrinks to a = .., b = ..` entry whose parameter names match
+    /// `param_names` exactly (same names, same order), the list of value
+    /// strings. Entries for other tests or with unsplittable values are
+    /// skipped.
+    pub fn regression_entries(
+        source_file: &str,
+        manifest_dir: &str,
+        param_names: &[&str],
+    ) -> Vec<Vec<String>> {
+        let Some(source) = locate_source(source_file, manifest_dir) else {
+            return Vec::new();
+        };
+        let regressions = source.with_extension("proptest-regressions");
+        let Ok(text) = std::fs::read_to_string(&regressions) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((_, shrunk)) = line.split_once("# shrinks to ") else {
+                continue;
+            };
+            let pairs: Vec<&str> = shrunk.split(", ").collect();
+            if pairs.len() != param_names.len() {
+                continue;
+            }
+            let mut values = Vec::with_capacity(pairs.len());
+            let mut ok = true;
+            for (pair, expected_name) in pairs.iter().zip(param_names) {
+                match pair.split_once(" = ") {
+                    Some((name, value)) if name.trim() == *expected_name => {
+                        values.push(value.trim().to_string());
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push(values);
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn rng_is_deterministic_per_case() {
+            let a: Vec<u64> = {
+                let mut r = TestRng::for_case("mod::test", 3);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut r = TestRng::for_case("mod::test", 3);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            assert_eq!(a, b);
+            let mut other = TestRng::for_case("mod::test", 4);
+            assert_ne!(a[0], other.next_u64());
+        }
+
+        #[test]
+        fn parses_shrinks_to_lines() {
+            let dir = std::env::temp_dir().join("proptest_stub_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let src = dir.join("prop_demo.rs");
+            std::fs::write(&src, "// source").unwrap();
+            std::fs::write(
+                dir.join("prop_demo.proptest-regressions"),
+                "# Seeds for failure cases\ncc deadbeef # shrinks to bytes = 131073\ncc cafe # shrinks to a = 1, b = 2\n",
+            )
+            .unwrap();
+            let src_str = src.to_string_lossy();
+            let entries = regression_entries(&src_str, "/nonexistent", &["bytes"]);
+            assert_eq!(entries, vec![vec!["131073".to_string()]]);
+            let entries = regression_entries(&src_str, "/nonexistent", &["a", "b"]);
+            assert_eq!(entries, vec![vec!["1".to_string(), "2".to_string()]]);
+            let entries = regression_entries(&src_str, "/nonexistent", &["bytes", "other"]);
+            assert!(entries.is_empty());
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` works like upstream.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($branch)),+
+        ])
+    };
+}
+
+/// Define property tests. Each generated `#[test]` first replays matching
+/// entries from the sibling `.proptest-regressions` file, then runs
+/// `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let __names: &[&str] = &[$(stringify!($arg)),+];
+            let __entries = $crate::test_runner::regression_entries(
+                file!(),
+                env!("CARGO_MANIFEST_DIR"),
+                __names,
+            );
+            'replay: for __entry in &__entries {
+                let mut __vals = __entry.iter();
+                $(
+                    let $arg = match $crate::strategy::Strategy::parse_regression(
+                        &($strat),
+                        __vals.next().expect("entry length checked"),
+                    ) {
+                        Some(v) => v,
+                        None => continue 'replay,
+                    };
+                )+
+                $crate::__run_case!($name, "regression", $($arg),+; $body);
+            }
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $crate::__run_case!($name, "random", $($arg),+; $body);
+            }
+        }
+    )+};
+    (#![proptest_config($config:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@run $config; $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@run $crate::test_runner::Config::default(); $($rest)+);
+    };
+}
+
+/// Internal: run one case, reporting the inputs if the body panics.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_case {
+    ($name:ident, $kind:literal, $($arg:ident),+; $body:block) => {{
+        let __desc = {
+            let mut __s = String::new();
+            $(
+                __s.push_str(stringify!($arg));
+                __s.push_str(" = ");
+                __s.push_str(&format!("{:?}; ", &$arg));
+            )+
+            __s
+        };
+        let __outcome = ::std::panic::catch_unwind(
+            ::std::panic::AssertUnwindSafe(move || $body),
+        );
+        if let Err(__panic) = __outcome {
+            eprintln!(
+                "proptest case failed: {} ({} case) with {}",
+                stringify!($name),
+                $kind,
+                __desc,
+            );
+            ::std::panic::resume_unwind(__panic);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Color {
+        Red,
+        Blue,
+        Scaled(usize),
+    }
+
+    fn color_strategy() -> impl Strategy<Value = Color> {
+        prop_oneof![
+            Just(Color::Red),
+            Just(Color::Blue),
+            (1usize..10).prop_map(Color::Scaled),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..100, y in -3i64..3, f in -1.0f64..1.0) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((-3..3).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(-1.0f64..1.0, 25)) {
+            prop_assert_eq!(v.len(), 25);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(c in color_strategy(), flag in any::<bool>()) {
+            match c {
+                Color::Scaled(n) => prop_assert!((1..10).contains(&n)),
+                Color::Red | Color::Blue => {
+                    prop_assert!(matches!(c, Color::Red | Color::Blue));
+                }
+            }
+            let _ = flag; // exercised for multi-arg generation only
+        }
+
+        #[test]
+        fn tuples_generate(t in (1u32..5, -2.0f64..2.0, 0u64..9)) {
+            prop_assert!(t.0 >= 1 && t.0 < 5);
+            prop_assert!(t.2 < 9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+}
