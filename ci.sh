@@ -19,6 +19,12 @@ trap 'rm -f "$tmp"' EXIT
 ./target/release/maia-bench run --all --jobs 2 >"$tmp" 2>/dev/null
 diff -u tests/golden/smoke_sweep.md "$tmp"
 
+echo "== conformance gate: maia-bench check --all vs tests/golden/conformance.md"
+# Exit 1 here means a model change bent a paper-published shape; the
+# diff below additionally catches silent predicate-set drift.
+./target/release/maia-bench check --all --jobs 2 >"$tmp"
+diff -u tests/golden/conformance.md "$tmp"
+
 echo "== parallel speedup (informational; asserted only with >= 4 cores)"
 t_start=$(date +%s%N)
 ./target/release/maia-bench run --all --jobs 1 >/dev/null 2>&1

@@ -25,6 +25,17 @@ fn main() {
                 1
             }
         },
+        Ok(Command::Check(opts)) => match cli::execute_check(&opts) {
+            Ok((payload, report)) => {
+                print!("{payload}");
+                eprintln!("maia-bench check: {}", report.summary());
+                cli::check_exit_code(&report)
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
         Err(e) => {
             eprintln!("maia-bench: {e}\n\n{}", cli::USAGE);
             2

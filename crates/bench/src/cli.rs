@@ -5,15 +5,19 @@
 //! deliberately tiny — no external argument-parsing crate:
 //!
 //! ```text
-//! maia-bench run [--all] [--only F04,F21,...] [--format md|csv|json]
-//!                [--out DIR] [--jobs N] [--bench-json PATH]
+//! maia-bench run   [--all] [--only F04,F21,...] [--format md|csv|json]
+//!                  [--out DIR] [--jobs N] [--bench-json PATH]
+//! maia-bench check [--all] [--only F04,F21,...] [--format md|json]
+//!                  [--out PATH] [--jobs N]
 //! maia-bench list
 //! maia-bench help
 //! ```
 
 use std::path::PathBuf;
 
-use maia_core::{all_experiments, run_experiments_parallel, ExperimentId, SweepReport};
+use maia_core::{
+    all_experiments, run_experiments_parallel, ConformanceReport, ExperimentId, SweepReport,
+};
 
 /// Output format for experiment tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,11 +73,26 @@ pub struct RunOptions {
     pub bench_json: Option<PathBuf>,
 }
 
+/// Parsed `check` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOptions {
+    /// Experiments to check, in request order.
+    pub ids: Vec<ExperimentId>,
+    /// Report format (`csv` is rejected at parse time).
+    pub format: Format,
+    /// Write the report here instead of stdout.
+    pub out: Option<PathBuf>,
+    /// Worker threads.
+    pub jobs: usize,
+}
+
 /// One parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `maia-bench run ...`
     Run(RunOptions),
+    /// `maia-bench check ...`
+    Check(CheckOptions),
     /// `maia-bench list`
     List,
     /// `maia-bench help` (or no arguments).
@@ -82,11 +101,13 @@ pub enum Command {
 
 /// Usage text shown by `help` and on parse errors.
 pub const USAGE: &str = "\
-maia-bench — regenerate the paper's tables and figures
+maia-bench — regenerate and validate the paper's tables and figures
 
 USAGE:
-    maia-bench run [--all] [--only CODES] [--format md|csv|json]
-                   [--out DIR] [--jobs N] [--bench-json PATH]
+    maia-bench run   [--all] [--only CODES] [--format md|csv|json]
+                     [--out DIR] [--jobs N] [--bench-json PATH]
+    maia-bench check [--all] [--only CODES] [--format md|json]
+                     [--out PATH] [--jobs N]
     maia-bench list
     maia-bench help
 
@@ -98,12 +119,42 @@ OPTIONS (run):
     --jobs N           Worker threads (default: available cores)
     --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
 
+OPTIONS (check):
+    --all              Check every experiment (default when --only absent)
+    --only CODES       Restrict the conformance run to these experiments
+    --format FORMAT    md (default) or json report
+    --out PATH         Write the report to PATH instead of stdout
+    --jobs N           Worker threads (default: available cores)
+
+check regenerates the selected experiments and evaluates every oracle
+predicate bound to them (the DESIGN.md §6 paper-shape targets); the
+one-line verdict always goes to stderr.
+
+EXIT CODES:
+    0  success (run) / all predicates conformant (check)
+    1  runtime failure, or conformance violations found (check)
+    2  usage error (unknown subcommand, flag, experiment code or format)
+
 Tables go to stdout (or --out DIR); the per-experiment timing summary
 always goes to stderr.
 ";
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parse_only(list: &str) -> Result<Vec<ExperimentId>, String> {
+    let mut ids = Vec::new();
+    for code in list.split(',').filter(|s| !s.is_empty()) {
+        let id = ExperimentId::parse(code).ok_or_else(|| format!("unknown experiment '{code}'"))?;
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return Err("--only given an empty list".into());
+    }
+    Ok(ids)
 }
 
 /// Parse the argument list (without the program name).
@@ -127,21 +178,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 };
                 match arg.as_str() {
                     "--all" => all = true,
-                    "--only" => {
-                        let list = value("--only")?;
-                        let mut ids = Vec::new();
-                        for code in list.split(',').filter(|s| !s.is_empty()) {
-                            let id = ExperimentId::parse(code)
-                                .ok_or_else(|| format!("unknown experiment '{code}'"))?;
-                            if !ids.contains(&id) {
-                                ids.push(id);
-                            }
-                        }
-                        if ids.is_empty() {
-                            return Err("--only given an empty list".into());
-                        }
-                        only = Some(ids);
-                    }
+                    "--only" => only = Some(parse_only(&value("--only")?)?),
                     "--format" => format = Format::parse(&value("--format")?)?,
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     "--jobs" => {
@@ -164,6 +201,46 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out,
                 jobs,
                 bench_json,
+            }))
+        }
+        Some("check") => {
+            let mut only: Option<Vec<ExperimentId>> = None;
+            let mut all = false;
+            let mut format = Format::Md;
+            let mut out = None;
+            let mut jobs = default_jobs();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--all" => all = true,
+                    "--only" => only = Some(parse_only(&value("--only")?)?),
+                    "--format" => format = Format::parse(&value("--format")?)?,
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    "--jobs" => {
+                        jobs = value("--jobs")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs requires a positive integer")?;
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            if all && only.is_some() {
+                return Err("--all and --only are mutually exclusive".into());
+            }
+            if format == Format::Csv {
+                return Err("check reports are md or json, not csv".into());
+            }
+            Ok(Command::Check(CheckOptions {
+                ids: only.unwrap_or_else(all_experiments),
+                format,
+                out,
+                jobs,
             }))
         }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
@@ -207,6 +284,39 @@ pub fn execute_run(opts: &RunOptions) -> Result<(String, SweepReport), String> {
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
     Ok((payload, report))
+}
+
+/// Run the conformance oracle over the selected experiments.
+///
+/// Returns the rendered report (markdown or JSON) and the raw
+/// [`ConformanceReport`] for exit-code and summary decisions. With
+/// `--out`, the report is written to the file and the payload names it.
+pub fn execute_check(opts: &CheckOptions) -> Result<(String, ConformanceReport), String> {
+    let report = maia_core::check(&opts.ids, opts.jobs);
+    let rendered = match opts.format {
+        Format::Json => report.to_json(),
+        _ => report.to_markdown(),
+    };
+    let payload = if let Some(path) = &opts.out {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        format!("{}\n", path.display())
+    } else {
+        rendered
+    };
+    Ok((payload, report))
+}
+
+/// Exit code for a finished conformance run: 0 conformant, 1 violated.
+///
+/// Usage errors exit 2 from `main` before a report ever exists, so the
+/// three-way contract (0 pass / 1 violations / 2 usage) is split between
+/// this function and the parse path.
+pub fn check_exit_code(report: &ConformanceReport) -> i32 {
+    if report.is_conformant() {
+        0
+    } else {
+        1
+    }
 }
 
 #[cfg(test)]

@@ -32,14 +32,17 @@ pub fn emit(id: ExperimentId) {
     }
 }
 
-/// Render EXPERIMENTS.md: every experiment plus the paper's claims.
+/// Render EXPERIMENTS.md: every experiment plus the paper's claims and
+/// the oracle predicates that gate it (`maia-bench check`).
 pub fn render_experiments_md() -> String {
     let mut out = String::new();
     out.push_str("# EXPERIMENTS — paper vs. reproduction\n\n");
     out.push_str(
         "Regenerate any artifact with `cargo run -p maia-bench --bin fig_<id>` \
-         (e.g. `fig_04`), or everything with `--bin report`.\n\n",
+         (e.g. `fig_04`), or everything with `--bin report`. Validate every \
+         paper-published shape with `maia-bench check --all` (the CI gate).\n\n",
     );
+    out.push_str(&render_conformance_index());
     for id in maia_core::all_experiments() {
         let data = run_experiment(id);
         out.push_str(&data.to_markdown());
@@ -52,6 +55,41 @@ pub fn render_experiments_md() -> String {
     out
 }
 
+/// The conformance index: which oracle predicates guard each artifact.
+fn render_conformance_index() -> String {
+    use maia_core::experiments::conformance::checklist;
+    let mut out = String::from("## Conformance coverage\n\n");
+    out.push_str(
+        "Each artifact is gated by the machine-checkable shape predicates \
+         below (`maia_core::oracle`, evaluated by `maia-bench check` and \
+         `tests/tests/paper_shapes.rs`):\n\n",
+    );
+    out.push_str("| artifact | oracle predicates |\n|---|---|\n");
+    for id in maia_core::all_experiments() {
+        let checks = checklist(id);
+        // The full argument lists live in the conformance report; the
+        // index names just the predicate families, deduplicated.
+        let mut kinds: Vec<String> = checks
+            .iter()
+            .map(|c| {
+                c.name
+                    .split_once('[')
+                    .map_or(c.name.as_str(), |(head, _)| head)
+                    .to_string()
+            })
+            .collect();
+        kinds.dedup();
+        out.push_str(&format!(
+            "| {} | {} ({} checks) |\n",
+            id.meta().code,
+            kinds.join(", "),
+            checks.len()
+        ));
+    }
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -60,5 +98,19 @@ mod tests {
         for id in ["T1", "F4", "F14", "F19", "F27"] {
             assert!(md.contains(&format!("## {id} ")), "missing {id}");
         }
+    }
+
+    #[test]
+    fn report_maps_every_artifact_to_its_predicates() {
+        let md = super::render_experiments_md();
+        assert!(md.contains("| artifact | oracle predicates |"));
+        for id in maia_core::all_experiments() {
+            assert!(
+                md.contains(&format!("| {} | ", id.meta().code)),
+                "conformance row for {} missing",
+                id.meta().code
+            );
+        }
+        assert!(md.contains("marked_oom") && md.contains("ratio_band"));
     }
 }

@@ -2,6 +2,7 @@
 
 mod app_figs;
 mod coll;
+pub mod conformance;
 mod micro;
 mod npb_figs;
 mod pcie;

@@ -123,7 +123,7 @@ pub fn write_all_csv(dir: &std::path::Path) -> std::io::Result<Vec<std::path::Pa
 }
 
 /// Quote and escape a string for JSON output.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -20,11 +20,13 @@ pub mod cache;
 pub mod executor;
 pub mod experiments;
 pub mod figdata;
+pub mod oracle;
 pub mod paper;
 
 pub use executor::{run_experiments_parallel, ExperimentRun, SweepReport};
 pub use experiments::{all_experiments, run_experiment, ExperimentId, ExperimentMeta};
 pub use figdata::{write_all_csv, FigureData};
+pub use oracle::{check, check_figure, Check, ConformanceReport, PredicateResult};
 
 /// Library version, mirrored from the workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,1 +1,319 @@
 //! Integration-test crate: see `tests/`.
+//!
+//! The library half carries shared test support; today that is
+//! [`minijson`], a dependency-free JSON reader used to validate the
+//! `FigureData::to_json` and `ConformanceReport::to_json` emitters by
+//! actually parsing their output instead of substring-matching it.
+
+pub mod minijson {
+    //! A strict, minimal JSON parser (pure `std`). Supports the full
+    //! value grammar the repo's emitters produce: objects, arrays,
+    //! strings with `\" \\ \/ \n \t \r \b \f \uXXXX` escapes, numbers,
+    //! booleans and null. Errors carry the byte offset.
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Num(f64),
+        /// A string, unescaped.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object, in source order (duplicate keys kept).
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object field lookup (first match).
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("dangling escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'u' => {
+                                let code = self.hex4()?;
+                                // The emitters only write \u for control
+                                // chars, but accept surrogate pairs
+                                // anyway for strictness.
+                                let c = if (0xD800..0xDC00).contains(&code) {
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err("lone high surrogate".into());
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    code
+                                };
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| format!("invalid codepoint {c:#x}"))?,
+                                );
+                            }
+                            other => {
+                                return Err(format!("unknown escape '\\{}'", other as char))
+                            }
+                        }
+                    }
+                    Some(b) if b < 0x20 => {
+                        return Err(format!("raw control byte {b:#04x} in string"))
+                    }
+                    Some(_) => {
+                        // Copy one UTF-8 scalar (1-4 bytes) verbatim.
+                        let mut end = start + 1;
+                        while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            let hex = self
+                .bytes
+                .get(self.pos..self.pos + 4)
+                .ok_or("truncated \\u escape")?;
+            let hex = std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape".to_string())?;
+            let code =
+                u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+            self.pos += 4;
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number '{text}' at byte {start}"))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_nested_document() {
+            let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true}, "e": null}"#;
+            let v = parse(doc).unwrap();
+            assert_eq!(
+                v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+                Some(-300.0)
+            );
+            assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+            assert_eq!(v.get("e"), Some(&Json::Null));
+        }
+
+        #[test]
+        fn unescapes_unicode_and_pairs() {
+            let v = parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+            assert_eq!(v.as_str(), Some("Aé😀"));
+        }
+
+        #[test]
+        fn rejects_malformed_documents() {
+            for bad in [
+                "{",
+                "[1,",
+                "\"unterminated",
+                "{\"a\" 1}",
+                "tru",
+                "1.2.3",
+                "[] []",
+                "\"\\q\"",
+                "\"\\ud800\"",
+            ] {
+                assert!(parse(bad).is_err(), "{bad:?} should fail");
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Concurrency contract of `maia_core::cache`: when a multi-worker
+//! `Team` hammers the memo layer on shared keys, each key's compute
+//! closure runs exactly once and every caller receives a bit-identical
+//! value. Extends the golden parallel-vs-serial sweep test, which only
+//! observes aggregate hit counts.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use maia_core::cache;
+use maia_omp::{Schedule, Team};
+
+/// 8 workers race 64 tasks onto 4 keys; the sleep inside compute widens
+/// the race window so all workers pile onto in-flight computations.
+#[test]
+fn memo_computes_once_per_key_under_contention() {
+    const KEYS: usize = 4;
+    const TASKS: usize = 64;
+    let computes: Vec<AtomicU32> = (0..KEYS).map(|_| AtomicU32::new(0)).collect();
+    let results: Vec<Vec<(u64, f64)>> = {
+        let slots: Vec<std::sync::Mutex<Vec<(u64, f64)>>> =
+            (0..KEYS).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        Team::new(8).parallel_for(0..TASKS, Schedule::Dynamic { chunk: 1 }, |task| {
+            let k = task % KEYS;
+            let key = format!("test::contended::{k}");
+            let v: f64 = cache::memo(&key, || {
+                computes[k].fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(20));
+                // A value whose bits depend on the inputs non-trivially.
+                (k as f64 + 1.0).sqrt() * 1e9
+            });
+            slots[k].lock().unwrap().push((v.to_bits(), v));
+        });
+        slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    };
+    for (k, seen) in results.iter().enumerate() {
+        assert_eq!(
+            computes[k].load(Ordering::SeqCst),
+            1,
+            "key {k}: compute ran more than once"
+        );
+        assert_eq!(seen.len(), TASKS / KEYS, "key {k}: lost results");
+        let first = seen[0].0;
+        assert!(
+            seen.iter().all(|&(bits, _)| bits == first),
+            "key {k}: callers saw different bit patterns"
+        );
+    }
+}
+
+/// Distinct keys never share values or block each other's computation.
+#[test]
+fn memo_isolates_distinct_keys() {
+    let team = Team::new(4);
+    let values = std::sync::Mutex::new(Vec::new());
+    team.parallel_for(0..16, Schedule::Dynamic { chunk: 1 }, |i| {
+        let v: u64 = cache::memo(&format!("test::distinct::{i}"), || i as u64 * 3 + 1);
+        values.lock().unwrap().push((i, v));
+    });
+    let mut got = values.into_inner().unwrap();
+    got.sort_unstable();
+    let want: Vec<(usize, u64)> = (0..16).map(|i| (i, i as u64 * 3 + 1)).collect();
+    assert_eq!(got, want);
+}
+
+/// Running the same experiment from many workers concurrently yields one
+/// identical markdown rendering — the executor-level reuse guarantee the
+/// `maia-bench check` gate leans on.
+#[test]
+fn concurrent_experiment_runs_are_identical() {
+    use maia_core::{run_experiment, ExperimentId};
+    let renderings = std::sync::Mutex::new(Vec::new());
+    Team::new(6).parallel_for(0..12, Schedule::Dynamic { chunk: 1 }, |_| {
+        let md = run_experiment(ExperimentId::F18OffloadBw).to_markdown();
+        renderings.lock().unwrap().push(md);
+    });
+    let all = renderings.into_inner().unwrap();
+    assert_eq!(all.len(), 12);
+    assert!(
+        all.iter().all(|md| md == &all[0]),
+        "concurrent runs disagreed"
+    );
+}

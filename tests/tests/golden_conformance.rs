@@ -1,0 +1,31 @@
+//! Golden test for the conformance oracle: the in-process report must
+//! match `tests/golden/conformance.md` byte for byte. This catches both
+//! bent shapes (a predicate flipping to FAIL) and silent predicate-set
+//! drift (a checklist gaining, losing or renaming checks without the
+//! golden being regenerated via
+//! `./target/release/maia-bench check --all --jobs 2 > tests/golden/conformance.md`).
+
+use maia_core::{all_experiments, check};
+
+#[test]
+fn conformance_report_matches_golden() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/conformance.md");
+    let golden = std::fs::read_to_string(golden_path).expect("golden conformance report missing");
+    let report = check(&all_experiments(), 2);
+    let rendered = report.to_markdown();
+    assert!(
+        report.is_conformant(),
+        "violations:\n{}",
+        report
+            .violations()
+            .iter()
+            .map(|v| format!("  {} {}: {}", v.figure, v.predicate, v.observed))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(
+        rendered, golden,
+        "conformance report drifted from tests/golden/conformance.md — \
+         regenerate it if the predicate change is intentional"
+    );
+}
