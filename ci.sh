@@ -25,6 +25,10 @@ echo "== conformance gate: maia-bench check --all vs tests/golden/conformance.md
 ./target/release/maia-bench check --all --jobs 2 >"$tmp"
 diff -u tests/golden/conformance.md "$tmp"
 
+echo "== profile smoke: maia-bench profile --only fig_04 --trace + trace_lint"
+./target/release/maia-bench profile --only fig_04 --trace "$tmp" >/dev/null
+./target/release/trace_lint "$tmp"
+
 echo "== parallel speedup (informational; asserted only with >= 4 cores)"
 t_start=$(date +%s%N)
 ./target/release/maia-bench run --all --jobs 1 >/dev/null 2>&1

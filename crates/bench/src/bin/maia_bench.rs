@@ -1,45 +1,8 @@
-//! The `maia-bench` CLI: parallel, cached regeneration of every table
-//! and figure. See `maia_bench::cli::USAGE` for the grammar.
-
-use maia_bench::cli::{self, Command};
+//! The `maia-bench` CLI: parallel, cached regeneration, conformance
+//! checking and profiling of every table and figure. See
+//! `maia_bench::cli::USAGE` for the grammar.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match cli::parse(&args) {
-        Ok(Command::Help) => {
-            print!("{}", cli::USAGE);
-            0
-        }
-        Ok(Command::List) => {
-            print!("{}", cli::render_list());
-            0
-        }
-        Ok(Command::Run(opts)) => match cli::execute_run(&opts) {
-            Ok((payload, report)) => {
-                print!("{payload}");
-                eprint!("{}", report.timing_summary());
-                0
-            }
-            Err(e) => {
-                eprintln!("maia-bench: {e}");
-                1
-            }
-        },
-        Ok(Command::Check(opts)) => match cli::execute_check(&opts) {
-            Ok((payload, report)) => {
-                print!("{payload}");
-                eprintln!("maia-bench check: {}", report.summary());
-                cli::check_exit_code(&report)
-            }
-            Err(e) => {
-                eprintln!("maia-bench: {e}");
-                1
-            }
-        },
-        Err(e) => {
-            eprintln!("maia-bench: {e}\n\n{}", cli::USAGE);
-            2
-        }
-    };
-    std::process::exit(code);
+    std::process::exit(maia_bench::cli::main_with_args(&args));
 }

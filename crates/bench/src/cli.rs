@@ -1,25 +1,22 @@
-//! Argument parsing and driver for the `maia-bench` binary.
+//! Argument parsing and driver for the `maia-bench` binary (and, through
+//! [`crate::emit`], every `fig_*` alias binary).
 //!
 //! Kept in the library (not `src/bin/`) so the parser and the render
 //! paths are unit-testable without spawning processes. The grammar is
-//! deliberately tiny — no external argument-parsing crate:
-//!
-//! ```text
-//! maia-bench run   [--all] [--only F04,F21,...] [--format md|csv|json]
-//!                  [--out DIR] [--jobs N] [--bench-json PATH]
-//! maia-bench check [--all] [--only F04,F21,...] [--format md|json]
-//!                  [--out PATH] [--jobs N]
-//! maia-bench list
-//! maia-bench help
-//! ```
+//! deliberately tiny — no external argument-parsing crate. Every
+//! subcommand shares one flag vocabulary ([`CommonArgs`]) and one
+//! experiment-selection type ([`maia_core::ExperimentSelection`]), so
+//! `run`, `check` and `profile` cannot drift apart; [`USAGE`] is the
+//! single source of truth for all of them, and every unknown flag exits
+//! with code 2 everywhere.
 
 use std::path::PathBuf;
 
 use maia_core::{
-    all_experiments, run_experiments_parallel, ConformanceReport, ExperimentId, SweepReport,
+    check_sweep, run_selection, telemetry, ConformanceReport, ExperimentSelection, SweepReport,
 };
 
-/// Output format for experiment tables.
+/// Output format for experiment tables and reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
     /// GitHub-flavoured Markdown (default).
@@ -37,6 +34,13 @@ impl Format {
             "csv" => Ok(Format::Csv),
             "json" => Ok(Format::Json),
             other => Err(format!("unknown format '{other}' (expected md, csv or json)")),
+        }
+    }
+
+    fn parse_report(text: &str, what: &str) -> Result<Format, String> {
+        match Format::parse(text)? {
+            Format::Csv => Err(format!("{what} is md or json, not csv")),
+            f => Ok(f),
         }
     }
 
@@ -58,32 +62,106 @@ impl Format {
     }
 }
 
-/// Parsed `run` subcommand.
+/// The flag vocabulary every subcommand shares: which experiments, what
+/// format, where to write, how many workers. Parsed by one loop so the
+/// subcommands cannot diverge.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunOptions {
-    /// Experiments to run, in request order.
-    pub ids: Vec<ExperimentId>,
+pub struct CommonArgs {
+    /// Which experiments to operate on.
+    pub selection: ExperimentSelection,
     /// Output format.
     pub format: Format,
-    /// Write one file per experiment here instead of stdout.
+    /// Write output here instead of stdout (a directory for `run`, a
+    /// file for `check`/`profile`).
     pub out: Option<PathBuf>,
     /// Worker threads.
     pub jobs: usize,
+}
+
+/// Accumulator for the shared flags; each subcommand folds its argv
+/// through [`CommonParser::accept`] and keeps its own extras.
+#[derive(Debug, Default)]
+struct CommonParser {
+    all: bool,
+    only: Option<ExperimentSelection>,
+    format: Option<Format>,
+    out: Option<PathBuf>,
+    jobs: Option<usize>,
+}
+
+impl CommonParser {
+    /// Try to consume `arg` (pulling values from `it`). Returns false if
+    /// the flag is not a common one.
+    fn accept(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg {
+            "--all" => self.all = true,
+            "--only" => self.only = Some(ExperimentSelection::from_spec(&value("--only")?)?),
+            "--format" => self.format = Some(Format::parse(&value("--format")?)?),
+            "--out" => self.out = Some(PathBuf::from(value("--out")?)),
+            "--jobs" => {
+                self.jobs = Some(
+                    value("--jobs")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--jobs requires a positive integer")?,
+                );
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn finish(self) -> Result<CommonArgs, String> {
+        if self.all && self.only.is_some() {
+            return Err("--all and --only are mutually exclusive".into());
+        }
+        Ok(CommonArgs {
+            selection: self.only.unwrap_or(ExperimentSelection::All),
+            format: self.format.unwrap_or(Format::Md),
+            out: self.out,
+            jobs: self.jobs.unwrap_or_else(default_jobs),
+        })
+    }
+}
+
+/// Parsed `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Shared flags.
+    pub common: CommonArgs,
     /// Write the machine-readable timing record here.
     pub bench_json: Option<PathBuf>,
+    /// Emit a telemetry metrics report to stderr in this format.
+    pub metrics: Option<Format>,
 }
 
 /// Parsed `check` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckOptions {
-    /// Experiments to check, in request order.
-    pub ids: Vec<ExperimentId>,
-    /// Report format (`csv` is rejected at parse time).
-    pub format: Format,
-    /// Write the report here instead of stdout.
-    pub out: Option<PathBuf>,
-    /// Worker threads.
-    pub jobs: usize,
+    /// Shared flags (`format` restricted to md/json at parse time).
+    pub common: CommonArgs,
+    /// Emit a telemetry metrics report to stderr in this format.
+    pub metrics: Option<Format>,
+}
+
+/// Parsed `profile` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileOptions {
+    /// Shared flags; `--metrics md|json` (alias of `--format` here)
+    /// picks the report format written to stdout or `--out`.
+    pub common: CommonArgs,
+    /// Write a Chrome trace-event JSON file (Perfetto-loadable) here.
+    pub trace: Option<PathBuf>,
 }
 
 /// One parsed invocation.
@@ -93,68 +171,64 @@ pub enum Command {
     Run(RunOptions),
     /// `maia-bench check ...`
     Check(CheckOptions),
+    /// `maia-bench profile ...`
+    Profile(ProfileOptions),
     /// `maia-bench list`
     List,
     /// `maia-bench help` (or no arguments).
     Help,
 }
 
-/// Usage text shown by `help` and on parse errors.
+/// Usage text shown by `help` and on parse errors — the one source of
+/// truth for every entry point, `fig_*` binaries included.
 pub const USAGE: &str = "\
-maia-bench — regenerate and validate the paper's tables and figures
+maia-bench — regenerate, validate and profile the paper's tables and figures
 
 USAGE:
-    maia-bench run   [--all] [--only CODES] [--format md|csv|json]
-                     [--out DIR] [--jobs N] [--bench-json PATH]
-    maia-bench check [--all] [--only CODES] [--format md|json]
-                     [--out PATH] [--jobs N]
+    maia-bench run     [COMMON] [--bench-json PATH] [--metrics md|json]
+    maia-bench check   [COMMON] [--metrics md|json]
+    maia-bench profile [COMMON] [--trace PATH] [--metrics md|json]
     maia-bench list
     maia-bench help
 
-OPTIONS (run):
-    --all              Run every experiment (default when --only absent)
-    --only CODES       Comma-separated codes, e.g. F04,F21 (F4/T1 also accepted)
-    --format FORMAT    md (default), csv or json
-    --out DIR          Write one file per experiment (<code>.<ext>) instead of stdout
+COMMON OPTIONS (shared by run, check and profile):
+    --all              Select every experiment (default when --only absent)
+    --only CODES       Comma-separated codes: F04,F21 (also f4, fig_04, table1)
+    --format FORMAT    md (default), csv or json (reports: md or json only)
+    --out PATH         run: directory, one file per experiment; check/profile:
+                       write the report to this file instead of stdout
     --jobs N           Worker threads (default: available cores)
+
+run:
     --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
+    --metrics FORMAT   Also print the telemetry metrics report to stderr
 
-OPTIONS (check):
-    --all              Check every experiment (default when --only absent)
-    --only CODES       Restrict the conformance run to these experiments
-    --format FORMAT    md (default) or json report
-    --out PATH         Write the report to PATH instead of stdout
-    --jobs N           Worker threads (default: available cores)
+check:
+    --metrics FORMAT   Also print the telemetry metrics report to stderr
+    Regenerates the selected experiments and evaluates every oracle
+    predicate bound to them; the one-line verdict goes to stderr.
 
-check regenerates the selected experiments and evaluates every oracle
-predicate bound to them (the DESIGN.md §6 paper-shape targets); the
-one-line verdict always goes to stderr.
+profile:
+    --trace PATH       Write a Chrome trace-event JSON file (load it in
+                       Perfetto or chrome://tracing)
+    --metrics FORMAT   Report format for stdout/--out: md (default) or json
+    Runs the selection with the instrumentation layer enabled and reports
+    event counts, cache hits/misses, per-subsystem virtual time, scheduler
+    activity and worker utilization. All virtual-time fields are
+    bit-identical across runs at a fixed --jobs; wall-clock fields live in
+    a separate 'wall' section (cat \"wall\" in the trace).
 
 EXIT CODES:
-    0  success (run) / all predicates conformant (check)
+    0  success (run/profile) / all predicates conformant (check)
     1  runtime failure, or conformance violations found (check)
     2  usage error (unknown subcommand, flag, experiment code or format)
 
-Tables go to stdout (or --out DIR); the per-experiment timing summary
-always goes to stderr.
+Tables go to stdout (or --out); the per-experiment timing summary always
+goes to stderr.
 ";
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-fn parse_only(list: &str) -> Result<Vec<ExperimentId>, String> {
-    let mut ids = Vec::new();
-    for code in list.split(',').filter(|s| !s.is_empty()) {
-        let id = ExperimentId::parse(code).ok_or_else(|| format!("unknown experiment '{code}'"))?;
-        if !ids.contains(&id) {
-            ids.push(id);
-        }
-    }
-    if ids.is_empty() {
-        return Err("--only given an empty list".into());
-    }
-    Ok(ids)
 }
 
 /// Parse the argument list (without the program name).
@@ -164,84 +238,88 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("list") => Ok(Command::List),
         Some("run") => {
-            let mut only: Option<Vec<ExperimentId>> = None;
-            let mut all = false;
-            let mut format = Format::Md;
-            let mut out = None;
-            let mut jobs = default_jobs();
+            let mut common = CommonParser::default();
             let mut bench_json = None;
+            let mut metrics = None;
             while let Some(arg) = it.next() {
+                if common.accept(arg, &mut it)? {
+                    continue;
+                }
                 let mut value = |name: &str| {
                     it.next()
                         .cloned()
                         .ok_or_else(|| format!("{name} requires a value"))
                 };
                 match arg.as_str() {
-                    "--all" => all = true,
-                    "--only" => only = Some(parse_only(&value("--only")?)?),
-                    "--format" => format = Format::parse(&value("--format")?)?,
-                    "--out" => out = Some(PathBuf::from(value("--out")?)),
-                    "--jobs" => {
-                        jobs = value("--jobs")?
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n >= 1)
-                            .ok_or("--jobs requires a positive integer")?;
-                    }
                     "--bench-json" => bench_json = Some(PathBuf::from(value("--bench-json")?)),
+                    "--metrics" => {
+                        metrics = Some(Format::parse_report(&value("--metrics")?, "--metrics")?)
+                    }
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
-            if all && only.is_some() {
-                return Err("--all and --only are mutually exclusive".into());
-            }
             Ok(Command::Run(RunOptions {
-                ids: only.unwrap_or_else(all_experiments),
-                format,
-                out,
-                jobs,
+                common: common.finish()?,
                 bench_json,
+                metrics,
             }))
         }
         Some("check") => {
-            let mut only: Option<Vec<ExperimentId>> = None;
-            let mut all = false;
-            let mut format = Format::Md;
-            let mut out = None;
-            let mut jobs = default_jobs();
+            let mut common = CommonParser::default();
+            let mut metrics = None;
             while let Some(arg) = it.next() {
+                if common.accept(arg, &mut it)? {
+                    continue;
+                }
                 let mut value = |name: &str| {
                     it.next()
                         .cloned()
                         .ok_or_else(|| format!("{name} requires a value"))
                 };
                 match arg.as_str() {
-                    "--all" => all = true,
-                    "--only" => only = Some(parse_only(&value("--only")?)?),
-                    "--format" => format = Format::parse(&value("--format")?)?,
-                    "--out" => out = Some(PathBuf::from(value("--out")?)),
-                    "--jobs" => {
-                        jobs = value("--jobs")?
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n >= 1)
-                            .ok_or("--jobs requires a positive integer")?;
+                    "--metrics" => {
+                        metrics = Some(Format::parse_report(&value("--metrics")?, "--metrics")?)
                     }
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
-            if all && only.is_some() {
-                return Err("--all and --only are mutually exclusive".into());
-            }
-            if format == Format::Csv {
+            let common = common.finish()?;
+            if common.format == Format::Csv {
                 return Err("check reports are md or json, not csv".into());
             }
-            Ok(Command::Check(CheckOptions {
-                ids: only.unwrap_or_else(all_experiments),
-                format,
-                out,
-                jobs,
-            }))
+            Ok(Command::Check(CheckOptions { common, metrics }))
+        }
+        Some("profile") => {
+            let mut common = CommonParser::default();
+            let mut trace = None;
+            let mut metrics = None;
+            while let Some(arg) = it.next() {
+                if common.accept(arg, &mut it)? {
+                    continue;
+                }
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+                    "--metrics" => {
+                        metrics = Some(Format::parse_report(&value("--metrics")?, "--metrics")?)
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            let mut common = common.finish()?;
+            if common.format == Format::Csv {
+                return Err("profile reports are md or json, not csv".into());
+            }
+            // `--metrics` is the documented spelling for the profile
+            // report format; it wins over `--format` when both appear.
+            if let Some(m) = metrics {
+                common.format = m;
+            }
+            Ok(Command::Profile(ProfileOptions { common, trace }))
         }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
     }
@@ -250,32 +328,46 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 /// Render the `list` subcommand.
 pub fn render_list() -> String {
     let mut out = String::new();
-    for id in all_experiments() {
+    for id in maia_core::all_experiments() {
         let meta = id.meta();
         out.push_str(&format!("{:<4} {}\n", meta.code, meta.title));
     }
     out
 }
 
+/// Result of `run`: stdout payload, the sweep (timing summary), and the
+/// optional `--metrics` report for stderr.
+pub struct RunOutcome {
+    /// Concatenated tables, or the written file paths with `--out`.
+    pub payload: String,
+    /// The sweep, for the stderr timing summary and `--bench-json`.
+    pub report: SweepReport,
+    /// Rendered telemetry report when `--metrics` was given.
+    pub metrics: Option<String>,
+}
+
 /// Run the sweep and render the tables in request order.
-///
-/// Returns the concatenated stdout payload and the report (for the
-/// timing summary and `--bench-json`). With `--out`, tables are written
-/// to files and the payload lists the paths instead.
-pub fn execute_run(opts: &RunOptions) -> Result<(String, SweepReport), String> {
-    let report = run_experiments_parallel(&opts.ids, opts.jobs);
+pub fn execute_run(opts: &RunOptions) -> Result<RunOutcome, String> {
+    if opts.metrics.is_some() {
+        telemetry::enable();
+    }
+    let report = run_selection(&opts.common.selection, opts.common.jobs);
     let mut payload = String::new();
-    if let Some(dir) = &opts.out {
+    if let Some(dir) = &opts.common.out {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         for run in &report.runs {
-            let path = dir.join(format!("{}.{}", run.id.meta().code, opts.format.extension()));
-            std::fs::write(&path, opts.format.render(&run.data))
+            let path = dir.join(format!(
+                "{}.{}",
+                run.id.meta().code,
+                opts.common.format.extension()
+            ));
+            std::fs::write(&path, opts.common.format.render(&run.data))
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             payload.push_str(&format!("{}\n", path.display()));
         }
     } else {
         for run in &report.runs {
-            payload.push_str(&opts.format.render(&run.data));
+            payload.push_str(&opts.common.format.render(&run.data));
             payload.push('\n');
         }
     }
@@ -283,27 +375,85 @@ pub fn execute_run(opts: &RunOptions) -> Result<(String, SweepReport), String> {
         std::fs::write(path, report.to_bench_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
-    Ok((payload, report))
+    let metrics = opts
+        .metrics
+        .map(|fmt| render_metrics(&telemetry::collect(&report), fmt));
+    Ok(RunOutcome {
+        payload,
+        report,
+        metrics,
+    })
+}
+
+/// Result of `check`.
+pub struct CheckOutcome {
+    /// Rendered report, or the written file path with `--out`.
+    pub payload: String,
+    /// The raw conformance results (exit code, stderr summary).
+    pub report: ConformanceReport,
+    /// Rendered telemetry report when `--metrics` was given.
+    pub metrics: Option<String>,
 }
 
 /// Run the conformance oracle over the selected experiments.
-///
-/// Returns the rendered report (markdown or JSON) and the raw
-/// [`ConformanceReport`] for exit-code and summary decisions. With
-/// `--out`, the report is written to the file and the payload names it.
-pub fn execute_check(opts: &CheckOptions) -> Result<(String, ConformanceReport), String> {
-    let report = maia_core::check(&opts.ids, opts.jobs);
-    let rendered = match opts.format {
+pub fn execute_check(opts: &CheckOptions) -> Result<CheckOutcome, String> {
+    if opts.metrics.is_some() {
+        telemetry::enable();
+    }
+    let sweep = run_selection(&opts.common.selection, opts.common.jobs);
+    let report = check_sweep(&sweep);
+    let rendered = match opts.common.format {
         Format::Json => report.to_json(),
         _ => report.to_markdown(),
     };
-    let payload = if let Some(path) = &opts.out {
+    let payload = if let Some(path) = &opts.common.out {
         std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
         format!("{}\n", path.display())
     } else {
         rendered
     };
-    Ok((payload, report))
+    let metrics = opts
+        .metrics
+        .map(|fmt| render_metrics(&telemetry::collect(&sweep), fmt));
+    Ok(CheckOutcome {
+        payload,
+        report,
+        metrics,
+    })
+}
+
+/// Result of `profile`.
+pub struct ProfileOutcome {
+    /// Rendered metrics report, or the written file path with `--out`.
+    pub payload: String,
+    /// The underlying sweep (stderr timing summary).
+    pub report: SweepReport,
+}
+
+/// Run the selection with instrumentation enabled and build the profile.
+pub fn execute_profile(opts: &ProfileOptions) -> Result<ProfileOutcome, String> {
+    telemetry::enable();
+    let report = run_selection(&opts.common.selection, opts.common.jobs);
+    let profile = telemetry::collect(&report);
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, profile.to_chrome_trace())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    let rendered = render_metrics(&profile, opts.common.format);
+    let payload = if let Some(path) = &opts.common.out {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        format!("{}\n", path.display())
+    } else {
+        rendered
+    };
+    Ok(ProfileOutcome { payload, report })
+}
+
+fn render_metrics(profile: &maia_core::ProfileReport, fmt: Format) -> String {
+    match fmt {
+        Format::Json => profile.to_json(),
+        _ => profile.to_markdown(),
+    }
 }
 
 /// Exit code for a finished conformance run: 0 conformant, 1 violated.
@@ -319,9 +469,69 @@ pub fn check_exit_code(report: &ConformanceReport) -> i32 {
     }
 }
 
+/// The whole binary, minus `std::process::exit`: parse, dispatch, print.
+/// Shared by `maia-bench` and (argv-translated) every `fig_*` alias, so
+/// all entry points get the same usage text and exit-code contract.
+pub fn main_with_args(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            0
+        }
+        Ok(Command::List) => {
+            print!("{}", render_list());
+            0
+        }
+        Ok(Command::Run(opts)) => match execute_run(&opts) {
+            Ok(out) => {
+                print!("{}", out.payload);
+                eprint!("{}", out.report.timing_summary());
+                if let Some(metrics) = out.metrics {
+                    eprint!("{metrics}");
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Ok(Command::Check(opts)) => match execute_check(&opts) {
+            Ok(out) => {
+                print!("{}", out.payload);
+                if let Some(metrics) = out.metrics {
+                    eprint!("{metrics}");
+                }
+                eprintln!("maia-bench check: {}", out.report.summary());
+                check_exit_code(&out.report)
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Ok(Command::Profile(opts)) => match execute_profile(&opts) {
+            Ok(out) => {
+                print!("{}", out.payload);
+                eprint!("{}", out.report.timing_summary());
+                0
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("maia-bench: {e}\n\n{USAGE}");
+            2
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use maia_core::{all_experiments, ExperimentId};
 
     fn parse_ok(args: &[&str]) -> Command {
         let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -333,36 +543,77 @@ mod tests {
         let Command::Run(opts) = parse_ok(&["run", "--jobs", "2"]) else {
             panic!("expected run");
         };
-        assert_eq!(opts.ids, all_experiments());
-        assert_eq!(opts.jobs, 2);
-        assert_eq!(opts.format, Format::Md);
-        assert!(opts.out.is_none());
+        assert_eq!(opts.common.selection, ExperimentSelection::All);
+        assert_eq!(opts.common.selection.resolve(), all_experiments());
+        assert_eq!(opts.common.jobs, 2);
+        assert_eq!(opts.common.format, Format::Md);
+        assert!(opts.common.out.is_none());
+        assert!(opts.metrics.is_none());
     }
 
     #[test]
-    fn only_accepts_both_code_spellings() {
-        let Command::Run(opts) = parse_ok(&["run", "--only", "F04,f21,T1", "--format", "json"])
+    fn only_accepts_every_code_spelling() {
+        let Command::Run(opts) = parse_ok(&["run", "--only", "F04,f21,table1", "--format", "json"])
         else {
             panic!("expected run");
         };
         assert_eq!(
-            opts.ids,
-            vec![
+            opts.common.selection,
+            ExperimentSelection::Ids(vec![
                 ExperimentId::F4Stream,
                 ExperimentId::F21Cart3d,
                 ExperimentId::T1Table
-            ]
+            ])
         );
-        assert_eq!(opts.format, Format::Json);
+        assert_eq!(opts.common.format, Format::Json);
     }
 
     #[test]
-    fn bad_inputs_are_rejected() {
+    fn subcommands_share_the_common_flags() {
+        // The same flag spellings must parse identically under run,
+        // check and profile — that is the point of CommonArgs.
+        let flags = ["--only", "fig_05", "--jobs", "3", "--format", "json"];
+        let mut commons = Vec::new();
+        for sub in ["run", "check", "profile"] {
+            let mut args = vec![sub];
+            args.extend_from_slice(&flags);
+            let common = match parse_ok(&args) {
+                Command::Run(o) => o.common,
+                Command::Check(o) => o.common,
+                Command::Profile(o) => o.common,
+                other => panic!("unexpected {other:?}"),
+            };
+            commons.push(common);
+        }
+        assert_eq!(commons[0], commons[1]);
+        assert_eq!(commons[1], commons[2]);
+    }
+
+    #[test]
+    fn profile_metrics_flag_sets_report_format() {
+        let Command::Profile(opts) =
+            parse_ok(&["profile", "--only", "F05", "--metrics", "json", "--trace", "/tmp/t.json"])
+        else {
+            panic!("expected profile");
+        };
+        assert_eq!(opts.common.format, Format::Json);
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.json")));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_for_every_subcommand() {
         for bad in [
             vec!["run", "--only", "F99"],
             vec!["run", "--jobs", "0"],
             vec!["run", "--format", "xml"],
             vec!["run", "--all", "--only", "F04"],
+            vec!["run", "--trace", "x.json"], // profile-only flag
+            vec!["check", "--format", "csv"],
+            vec!["check", "--bench-json", "x.json"], // run-only flag
+            vec!["profile", "--only", "F98"],
+            vec!["profile", "--format", "csv"],
+            vec!["profile", "--metrics", "csv"],
+            vec!["profile", "--wat"],
             vec!["frobnicate"],
         ] {
             let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
@@ -383,15 +634,22 @@ mod tests {
         let dir = std::env::temp_dir().join("maia-bench-cli-test");
         let _ = std::fs::remove_dir_all(&dir);
         let opts = RunOptions {
-            ids: vec![ExperimentId::T1Table, ExperimentId::F17Io],
-            format: Format::Csv,
-            out: Some(dir.clone()),
-            jobs: 2,
+            common: CommonArgs {
+                selection: ExperimentSelection::Ids(vec![
+                    ExperimentId::T1Table,
+                    ExperimentId::F17Io,
+                ]),
+                format: Format::Csv,
+                out: Some(dir.clone()),
+                jobs: 2,
+            },
             bench_json: Some(dir.join("BENCH.json")),
+            metrics: None,
         };
-        let (payload, report) = execute_run(&opts).expect("run failed");
-        assert!(payload.contains("T01.csv") && payload.contains("F17.csv"));
-        assert_eq!(report.runs.len(), 2);
+        let out = execute_run(&opts).expect("run failed");
+        assert!(out.payload.contains("T01.csv") && out.payload.contains("F17.csv"));
+        assert_eq!(out.report.runs.len(), 2);
+        assert!(out.metrics.is_none());
         let bench = std::fs::read_to_string(dir.join("BENCH.json")).unwrap();
         assert!(bench.contains("\"jobs\": 2"));
         let _ = std::fs::remove_dir_all(&dir);

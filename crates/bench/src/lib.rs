@@ -14,40 +14,61 @@
 
 pub mod cli;
 
-use maia_core::{run_experiment, ExperimentId};
+use maia_core::ExperimentId;
 
-/// Print one experiment to stdout in the format selected by argv.
+/// Run one experiment through the full `maia-bench run` pipeline and
+/// exit with its code.
 ///
-/// This is the whole body of every `fig_*` binary: it routes through the
-/// same [`maia_core::executor`] machinery the parallel sweep uses, so a
-/// standalone figure run and a `maia-bench run --all` sweep produce
-/// byte-identical output.
-pub fn emit(id: ExperimentId) {
-    let data = maia_core::executor::run_one(id);
-    let csv = std::env::args().any(|a| a == "--csv");
-    if csv {
-        print!("{}", data.to_csv());
-    } else {
-        print!("{}", data.to_markdown());
+/// This is the whole body of every `fig_*` binary: argv is translated to
+/// `run --only <code> ...` (with the legacy `--csv` spelled as
+/// `--format csv`) and handed to [`cli::main_with_args`], so the alias
+/// binaries share the sweep machinery, the [`cli::USAGE`] text, and the
+/// exit-code contract — unknown flags exit 2 here exactly like they do
+/// on `maia-bench` itself.
+pub fn emit(id: ExperimentId) -> ! {
+    let code = id.meta().code;
+    let mut args: Vec<String> = vec!["run".into(), "--only".into(), code.into()];
+    for arg in std::env::args().skip(1) {
+        if arg == "--csv" {
+            args.push("--format".into());
+            args.push("csv".into());
+        } else {
+            args.push(arg);
+        }
     }
+    std::process::exit(cli::main_with_args(&args));
 }
 
 /// Render EXPERIMENTS.md: every experiment plus the paper's claims and
-/// the oracle predicates that gate it (`maia-bench check`).
+/// the oracle predicates that gate it (`maia-bench check`). Runs the
+/// registry once through the profiled executor so the index can also
+/// name each artifact's dominant simulated subsystem.
 pub fn render_experiments_md() -> String {
+    use std::collections::BTreeMap;
+
+    maia_core::telemetry::enable();
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = maia_core::run_selection(&maia_core::ExperimentSelection::All, jobs);
+    let profile = maia_core::telemetry::collect(&sweep);
+    let dominant: BTreeMap<String, String> = profile
+        .experiments
+        .iter()
+        .map(|e| (e.code.clone(), e.dominant.clone()))
+        .collect();
+
     let mut out = String::new();
     out.push_str("# EXPERIMENTS — paper vs. reproduction\n\n");
     out.push_str(
         "Regenerate any artifact with `cargo run -p maia-bench --bin fig_<id>` \
          (e.g. `fig_04`), or everything with `--bin report`. Validate every \
-         paper-published shape with `maia-bench check --all` (the CI gate).\n\n",
+         paper-published shape with `maia-bench check --all` (the CI gate); \
+         profile any selection with `maia-bench profile --only <ids>`.\n\n",
     );
-    out.push_str(&render_conformance_index());
-    for id in maia_core::all_experiments() {
-        let data = run_experiment(id);
-        out.push_str(&data.to_markdown());
+    out.push_str(&render_conformance_index(&dominant));
+    for run in &sweep.runs {
+        out.push_str(&run.data.to_markdown());
         out.push_str("\n**Paper reports:**\n\n");
-        for c in maia_core::paper::paper_claims(id) {
+        for c in maia_core::paper::paper_claims(run.id) {
             out.push_str(&format!("- {}\n", c.claim));
         }
         out.push('\n');
@@ -55,16 +76,19 @@ pub fn render_experiments_md() -> String {
     out
 }
 
-/// The conformance index: which oracle predicates guard each artifact.
-fn render_conformance_index() -> String {
+/// The conformance index: which oracle predicates guard each artifact,
+/// and which simulated subsystem dominates its virtual time (from the
+/// telemetry layer; `closed-form` marks purely analytic tables).
+fn render_conformance_index(dominant: &std::collections::BTreeMap<String, String>) -> String {
     use maia_core::experiments::conformance::checklist;
     let mut out = String::from("## Conformance coverage\n\n");
     out.push_str(
         "Each artifact is gated by the machine-checkable shape predicates \
          below (`maia_core::oracle`, evaluated by `maia-bench check` and \
-         `tests/tests/paper_shapes.rs`):\n\n",
+         `tests/tests/paper_shapes.rs`). The dominant column is where the \
+         artifact's modeled virtual time goes (`maia-bench profile`):\n\n",
     );
-    out.push_str("| artifact | oracle predicates |\n|---|---|\n");
+    out.push_str("| artifact | dominant subsystem | oracle predicates |\n|---|---|---|\n");
     for id in maia_core::all_experiments() {
         let checks = checklist(id);
         // The full argument lists live in the conformance report; the
@@ -79,9 +103,11 @@ fn render_conformance_index() -> String {
             })
             .collect();
         kinds.dedup();
+        let code = id.meta().code;
         out.push_str(&format!(
-            "| {} | {} ({} checks) |\n",
-            id.meta().code,
+            "| {} | {} | {} ({} checks) |\n",
+            code,
+            dominant.get(code).map_or("closed-form", String::as_str),
             kinds.join(", "),
             checks.len()
         ));
@@ -103,7 +129,7 @@ mod tests {
     #[test]
     fn report_maps_every_artifact_to_its_predicates() {
         let md = super::render_experiments_md();
-        assert!(md.contains("| artifact | oracle predicates |"));
+        assert!(md.contains("| artifact | dominant subsystem | oracle predicates |"));
         for id in maia_core::all_experiments() {
             assert!(
                 md.contains(&format!("| {} | ", id.meta().code)),

@@ -74,20 +74,27 @@ where
         .unwrap_or_else(|| panic!("cache key {key:?} reused with a different type"));
     if let Some(v) = cell.get() {
         HITS.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::memo_credit(key);
         return v.clone();
     }
     // get_or_init serializes racing initializers; exactly one runs compute.
+    // The computation runs inside a per-key telemetry scope so its cost is
+    // attributed to the key (deterministic) rather than to whichever
+    // experiment won the race; every lookup below then credits that cost
+    // to its own scope.
     let mut ran_compute = false;
     let v = cell.get_or_init(|| {
         ran_compute = true;
-        compute()
+        crate::telemetry::memo_scope(key, compute)
     });
     if ran_compute {
         MISSES.fetch_add(1, Ordering::Relaxed);
     } else {
         HITS.fetch_add(1, Ordering::Relaxed);
     }
-    v.clone()
+    let out = v.clone();
+    crate::telemetry::memo_credit(key);
+    out
 }
 
 /// Current hit/miss counters.

@@ -16,11 +16,12 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use maia_omp::{Schedule, Team};
+use maia_omp::{LoopState, Schedule, Team};
 
 use crate::cache;
-use crate::experiments::{run_experiment, ExperimentId};
+use crate::experiments::{run_experiment, ExperimentId, ExperimentSelection};
 use crate::figdata::FigureData;
+use crate::telemetry;
 
 /// One finished experiment with its wall-clock cost.
 #[derive(Debug, Clone)]
@@ -114,18 +115,26 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
     order.sort_by_key(|&i| std::cmp::Reverse(ids[i].meta().cost_estimate));
 
     let slots: Mutex<Vec<Option<ExperimentRun>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
-    let team = Team::new(jobs);
-    team.parallel_for(0..order.len(), Schedule::Dynamic { chunk: 1 }, |k| {
-        let idx = order[k];
-        let id = ids[idx];
-        let t0 = Instant::now();
-        let data = run_experiment(id);
-        let run = ExperimentRun {
-            id,
-            data,
-            wall: t0.elapsed(),
-        };
-        slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(run);
+    let team = Team::labeled(jobs, "sweep");
+    let state = LoopState::new(0..order.len(), Schedule::Dynamic { chunk: 1 });
+    team.parallel(|ctx| {
+        let worker = ctx.thread_num() as u32;
+        ctx.for_loop(&state, |k| {
+            let idx = order[k];
+            let id = ids[idx];
+            let t0 = Instant::now();
+            let data = run_experiment_cached(id);
+            let wall = t0.elapsed();
+            telemetry::record_wall_span(
+                id.meta().code,
+                worker,
+                t0,
+                wall.as_secs_f64(),
+                "wall-exp",
+            );
+            let run = ExperimentRun { id, data, wall };
+            slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(run);
+        });
     });
 
     let runs: Vec<ExperimentRun> = slots
@@ -145,6 +154,28 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
             misses: cache_after.misses - cache_before.misses,
         },
     }
+}
+
+/// Run one experiment through the process-wide memo cache, inside its
+/// own telemetry scope when profiling is enabled.
+///
+/// The nesting order matters: the memo scope is *outer* so the wrapper
+/// key stays empty, and the experiment scope is *inner* so everything
+/// the experiment does — engines it builds, counters it bumps, model
+/// time it attributes — lands in the experiment's own sink. Re-running
+/// the same experiment in one process is a cache hit that returns the
+/// first table bit-identically.
+fn run_experiment_cached(id: ExperimentId) -> FigureData {
+    let code = id.meta().code;
+    cache::memo(&format!("experiment/{code}"), || {
+        telemetry::with_experiment_scope(code, || run_experiment(id))
+    })
+}
+
+/// Run a [`ExperimentSelection`] — the one entry point `run`, `check`,
+/// `profile` and the `fig_NN` aliases all funnel through.
+pub fn run_selection(selection: &ExperimentSelection, jobs: usize) -> SweepReport {
+    run_experiments_parallel(&selection.resolve(), jobs)
 }
 
 /// Serial convenience wrapper: run one experiment through the same

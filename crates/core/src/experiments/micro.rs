@@ -9,6 +9,7 @@ use maia_omp::{OmpConstruct, OverheadModel, Schedule};
 
 use crate::cache;
 use crate::figdata::{fmt_bytes, FigureData};
+use crate::telemetry;
 
 /// Memoized STREAM triad point; the curve also feeds the application
 /// models (F19/F21/F22), so it is shared through the cache.
@@ -38,20 +39,21 @@ pub fn fig4_stream() -> FigureData {
         "STREAM triad bandwidth (GB/s) vs threads",
         &["device", "threads", "GB/s"],
     );
+    // Modeled time to triad-stream 1 GiB at each measured bandwidth —
+    // the virtual time this figure "spends" in the memory subsystem.
+    let mut model_ns = 0.0;
+    let gib = (1u64 << 30) as f64;
     for t in [1u32, 2, 4, 8, 16, 32] {
-        f.push_row(vec![
-            "host".into(),
-            t.to_string(),
-            format!("{:.1}", cached_stream_gbs("host", &host, 2, t)),
-        ]);
+        let gbs = cached_stream_gbs("host", &host, 2, t);
+        model_ns += gib / gbs;
+        f.push_row(vec!["host".into(), t.to_string(), format!("{gbs:.1}")]);
     }
     for t in [1u32, 30, 59, 118, 130, 177, 236] {
-        f.push_row(vec![
-            "phi0".into(),
-            t.to_string(),
-            format!("{:.1}", cached_stream_gbs("phi0", &phi, 1, t)),
-        ]);
+        let gbs = cached_stream_gbs("phi0", &phi, 1, t);
+        model_ns += gib / gbs;
+        f.push_row(vec!["phi0".into(), t.to_string(), format!("{gbs:.1}")]);
     }
+    telemetry::add_model_vt("memory", model_ns);
     f.note("Paper: Phi peaks at 180 GB/s for 59/118 threads, drops to 140 GB/s beyond (GDDR5 open-bank limit of 128).");
     f
 }
@@ -65,15 +67,22 @@ pub fn fig5_latency() -> FigureData {
         "Memory load latency (ns) vs working set",
         &["working-set", "host ns", "phi ns"],
     );
+    // Modeled time for one dependent-load walk over each working set
+    // (one 64-byte line per access) — the figure's memory virtual time.
+    let mut model_ns = 0.0;
     let mut ws = 4 * 1024u64;
     while ws <= 256 * 1024 * 1024 {
+        let host_ns = analytic_latency_ns(&host, ws);
+        let phi_ns = analytic_latency_ns(&phi, ws);
+        model_ns += (ws / 64) as f64 * (host_ns + phi_ns);
         f.push_row(vec![
             fmt_bytes(ws),
-            format!("{:.1}", analytic_latency_ns(&host, ws)),
-            format!("{:.1}", analytic_latency_ns(&phi, ws)),
+            format!("{host_ns:.1}"),
+            format!("{phi_ns:.1}"),
         ]);
         ws *= 4;
     }
+    telemetry::add_model_vt("memory", model_ns);
     f.note("Paper plateaus — host: 1.5/4.6/15/81 ns (L1/L2/L3/DRAM); Phi: 2.9/22.9/295 ns (L1/L2/DRAM).");
     f
 }
@@ -87,17 +96,25 @@ pub fn fig6_bandwidth() -> FigureData {
         "Per-core load bandwidth (GB/s) vs working set",
         &["working-set", "host read", "host write", "phi read", "phi write"],
     );
+    // Modeled time to touch each working set once at the modeled rate.
+    let mut model_ns = 0.0;
     let mut ws = 16 * 1024u64;
     while ws <= 256 * 1024 * 1024 {
+        let hr = per_core_bw_gbs(&host, ws, AccessKind::Read);
+        let hw = per_core_bw_gbs(&host, ws, AccessKind::Write);
+        let pr = per_core_bw_gbs(&phi, ws, AccessKind::Read);
+        let pw = per_core_bw_gbs(&phi, ws, AccessKind::Write);
+        model_ns += ws as f64 * (1.0 / hr + 1.0 / hw + 1.0 / pr + 1.0 / pw);
         f.push_row(vec![
             fmt_bytes(ws),
-            format!("{:.2}", per_core_bw_gbs(&host, ws, AccessKind::Read)),
-            format!("{:.2}", per_core_bw_gbs(&host, ws, AccessKind::Write)),
-            format!("{:.3}", per_core_bw_gbs(&phi, ws, AccessKind::Read)),
-            format!("{:.3}", per_core_bw_gbs(&phi, ws, AccessKind::Write)),
+            format!("{hr:.2}"),
+            format!("{hw:.2}"),
+            format!("{pr:.3}"),
+            format!("{pw:.3}"),
         ]);
         ws *= 8;
     }
+    telemetry::add_model_vt("memory", model_ns);
     f.note("Paper DRAM plateaus — host 7.5/7.2 GB/s; Phi 0.504/0.263 GB/s.");
     f
 }
@@ -111,9 +128,11 @@ pub fn fig15_omp_sync() -> FigureData {
         "OpenMP construct overhead (us): host 16T vs Phi 236T",
         &["construct", "host us", "phi us", "phi/host"],
     );
+    let mut model_us = 0.0;
     for c in OmpConstruct::ALL {
         let h = host.construct_overhead_us(c, 16);
         let p = phi.construct_overhead_us(c, 236);
+        model_us += h + p;
         f.push_row(vec![
             c.label().into(),
             format!("{h:.2}"),
@@ -121,6 +140,7 @@ pub fn fig15_omp_sync() -> FigureData {
             format!("{:.1}", p / h),
         ]);
     }
+    telemetry::add_model_vt("omp", model_us * 1e3);
     f.note("Paper: ~an order of magnitude higher on the Phi; Reduction most expensive, ATOMIC least.");
     f
 }
@@ -142,14 +162,19 @@ pub fn fig16_omp_sched() -> FigureData {
         (Schedule::Guided { min_chunk: 1 }, 1),
         (Schedule::Guided { min_chunk: 8 }, 8),
     ];
+    let mut model_us = 0.0;
     for (sched, chunk) in cases {
+        let h = host.schedule_overhead_us(sched, 1024, 16);
+        let p = phi.schedule_overhead_us(sched, 1024, 236);
+        model_us += h + p;
         f.push_row(vec![
             sched.label().into(),
             chunk.to_string(),
-            format!("{:.2}", host.schedule_overhead_us(sched, 1024, 16)),
-            format!("{:.2}", phi.schedule_overhead_us(sched, 1024, 236)),
+            format!("{h:.2}"),
+            format!("{p:.2}"),
         ]);
     }
+    telemetry::add_model_vt("omp", model_us * 1e3);
     f.note("Paper: STATIC < GUIDED < DYNAMIC; Phi an order of magnitude above host.");
     f
 }
@@ -162,9 +187,12 @@ pub fn fig17_io() -> FigureData {
         &["device", "op", "block", "MB/s"],
     );
     let blocks = [64 * 1024u64, 1 << 20, 16 << 20, 64 << 20];
+    // Modeled time to move each block once at its modeled rate.
+    let mut model_ns = 0.0;
     for device in [Device::Host, Device::Phi0, Device::Phi1] {
         for op in [IoOp::Read, IoOp::Write] {
             for p in io_sweep(device, op, &blocks) {
+                model_ns += p.block_bytes as f64 * 1e3 / p.bandwidth_mbs;
                 f.push_row(vec![
                     device.label().into(),
                     format!("{op:?}"),
@@ -174,6 +202,7 @@ pub fn fig17_io() -> FigureData {
             }
         }
     }
+    telemetry::add_model_vt("io", model_ns);
     let proxy = IoPath::phi_via_host_proxy(IoOp::Write).plateau_mbs();
     f.note(format!(
         "Paper: host 210 (write) / 295 (read) MB/s; Phi 80 / 75 MB/s. SCIF-proxy workaround reaches {proxy:.0} MB/s."

@@ -171,9 +171,19 @@ impl ExperimentId {
 
     /// Parse a user-supplied experiment code: accepts the canonical
     /// zero-padded form (`F04`), the short `FigureData` id (`F4`, `T1`),
-    /// and lowercase variants.
+    /// spelled-out forms (`fig_04`, `fig4`, `table1`, `app_1`), and any
+    /// case.
     pub fn parse(text: &str) -> Option<ExperimentId> {
-        let want = text.trim().to_ascii_uppercase();
+        let mut want = text.trim().to_ascii_uppercase().replace('-', "_");
+        for (long, short) in [("FIG", "F"), ("TABLE", "T"), ("APP", "A")] {
+            if let Some(rest) = want.strip_prefix(long) {
+                let digits = rest.strip_prefix('_').unwrap_or(rest);
+                if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                    want = format!("{short}{digits}");
+                }
+                break;
+            }
+        }
         all_experiments().into_iter().find(|&id| {
             let meta = id.meta();
             let short = {
@@ -183,6 +193,59 @@ impl ExperimentId {
             };
             want == meta.code || want == short
         })
+    }
+}
+
+/// Which experiments an invocation operates on. All entry points —
+/// `run`, `check`, `profile` and the `fig_NN` aliases — parse their
+/// selection flags into this one type and hand it to the executor, so
+/// "which experiments" is decided in exactly one place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentSelection {
+    /// Every experiment, in paper order.
+    All,
+    /// An explicit list, in request order, without duplicates.
+    Ids(Vec<ExperimentId>),
+}
+
+impl ExperimentSelection {
+    /// Parse a comma-separated code list (`F04,f21,T1`, `fig_05`, ...).
+    /// Fails with the offending code on the first unknown entry.
+    pub fn from_spec(spec: &str) -> Result<ExperimentSelection, String> {
+        let mut ids = Vec::new();
+        for code in spec.split(',').filter(|s| !s.is_empty()) {
+            let id = ExperimentId::parse(code)
+                .ok_or_else(|| format!("unknown experiment '{code}'"))?;
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        if ids.is_empty() {
+            return Err("empty experiment selection".into());
+        }
+        Ok(ExperimentSelection::Ids(ids))
+    }
+
+    /// The concrete experiment list this selection denotes.
+    pub fn resolve(&self) -> Vec<ExperimentId> {
+        match self {
+            ExperimentSelection::All => all_experiments(),
+            ExperimentSelection::Ids(ids) => ids.clone(),
+        }
+    }
+
+    /// Number of selected experiments.
+    pub fn len(&self) -> usize {
+        match self {
+            ExperimentSelection::All => all_experiments().len(),
+            ExperimentSelection::Ids(ids) => ids.len(),
+        }
+    }
+
+    /// True when the selection denotes no experiments (never produced by
+    /// [`ExperimentSelection::from_spec`]).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ExperimentSelection::Ids(ids) if ids.is_empty())
     }
 }
 
@@ -217,5 +280,44 @@ pub fn run_experiment(id: ExperimentId) -> FigureData {
         F27OffloadCost => npb_figs::fig27_offload_cost(),
         A1NpbMpiMeasured => npb_figs::a1_npb_mpi_measured(),
         A2OverflowHybrid => app_figs::a2_overflow_hybrid(),
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_spelled_out_codes() {
+        for (text, want) in [
+            ("fig_05", ExperimentId::F5Latency),
+            ("FIG5", ExperimentId::F5Latency),
+            ("fig-10", ExperimentId::F10SendRecv),
+            ("table1", ExperimentId::T1Table),
+            ("TABLE_01", ExperimentId::T1Table),
+            ("app_1", ExperimentId::A1NpbMpiMeasured),
+            ("F04", ExperimentId::F4Stream),
+            ("f4", ExperimentId::F4Stream),
+        ] {
+            assert_eq!(ExperimentId::parse(text), Some(want), "parsing {text:?}");
+        }
+        for bad in ["fig_", "fig_99", "figx", "table", "F99", ""] {
+            assert_eq!(ExperimentId::parse(bad), None, "parsing {bad:?}");
+        }
+    }
+
+    #[test]
+    fn selection_resolves_and_dedups() {
+        assert_eq!(ExperimentSelection::All.resolve(), all_experiments());
+        let sel = ExperimentSelection::from_spec("F04,fig_04,T1").unwrap();
+        assert_eq!(
+            sel.resolve(),
+            vec![ExperimentId::F4Stream, ExperimentId::T1Table]
+        );
+        assert_eq!(sel.len(), 2);
+        assert!(!sel.is_empty());
+        let err = ExperimentSelection::from_spec("F04,F99").unwrap_err();
+        assert!(err.contains("F99"), "{err}");
+        assert!(ExperimentSelection::from_spec("").is_err());
     }
 }

@@ -20,6 +20,7 @@ pub struct FigureData {
 impl FigureData {
     /// Start an empty figure.
     pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        crate::telemetry::count("figdata.figures", 1);
         FigureData {
             id,
             title: title.into(),
@@ -42,6 +43,7 @@ impl FigureData {
             cells.len(),
             self.headers.len()
         );
+        crate::telemetry::count("figdata.rows", 1);
         self.rows.push(cells);
     }
 

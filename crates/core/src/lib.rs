@@ -22,11 +22,17 @@ pub mod experiments;
 pub mod figdata;
 pub mod oracle;
 pub mod paper;
+pub mod telemetry;
 
-pub use executor::{run_experiments_parallel, ExperimentRun, SweepReport};
-pub use experiments::{all_experiments, run_experiment, ExperimentId, ExperimentMeta};
+pub use executor::{run_experiments_parallel, run_selection, ExperimentRun, SweepReport};
+pub use experiments::{
+    all_experiments, run_experiment, ExperimentId, ExperimentMeta, ExperimentSelection,
+};
 pub use figdata::{write_all_csv, FigureData};
-pub use oracle::{check, check_figure, Check, ConformanceReport, PredicateResult};
+pub use oracle::{
+    check, check_figure, check_selection, check_sweep, Check, ConformanceReport, PredicateResult,
+};
+pub use telemetry::ProfileReport;
 
 /// Library version, mirrored from the workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

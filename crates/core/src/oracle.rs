@@ -1010,13 +1010,28 @@ pub fn check_figure(
 /// Run `ids` through the cached parallel executor and apply each
 /// experiment's checklist to its regenerated table.
 pub fn check(ids: &[ExperimentId], jobs: usize) -> ConformanceReport {
-    let sweep = run_experiments_parallel(ids, jobs);
+    check_sweep(&run_experiments_parallel(ids, jobs))
+}
+
+/// Apply each experiment's checklist to the tables of an already-run
+/// sweep (lets the CLI reuse one sweep for both the report and the
+/// `--metrics` profile).
+pub fn check_sweep(sweep: &crate::SweepReport) -> ConformanceReport {
     let mut results = Vec::new();
     for run in &sweep.runs {
         let checks = crate::experiments::conformance::checklist(run.id);
         results.extend(check_figure(run.id.meta().code, &run.data, &checks));
     }
     ConformanceReport { results }
+}
+
+/// [`check`] over an [`crate::ExperimentSelection`] — the form the CLI
+/// uses, so every subcommand resolves its experiment set the same way.
+pub fn check_selection(
+    selection: &crate::ExperimentSelection,
+    jobs: usize,
+) -> ConformanceReport {
+    check(&selection.resolve(), jobs)
 }
 
 #[cfg(test)]

@@ -127,6 +127,7 @@ impl MpiWorld {
             let stats = Arc::clone(&stats);
             let program = Arc::clone(&program);
             engine.spawn(format!("rank-{rank_id}"), move |ctx| {
+                let started = ctx.now();
                 let mut rank = Rank {
                     ctx,
                     rank: rank_id,
@@ -140,6 +141,9 @@ impl MpiWorld {
                 program(&mut rank);
                 finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
                 stats.lock()[rank_id] = rank.stats;
+                // Rank-level telemetry span: the whole program, in virtual
+                // time. A no-op unless a probe factory is installed.
+                rank.ctx.emit_span(&format!("rank-{rank_id}"), started);
             });
         }
         let (end_time, trace) = engine.run_traced()?;

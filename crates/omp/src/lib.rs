@@ -22,6 +22,7 @@ pub mod model;
 pub mod schedule;
 pub mod sync;
 pub mod team;
+pub mod telemetry;
 
 pub use loops::{collapse2, collapse3, LoopState};
 pub use model::{OmpConstruct, OverheadModel};

@@ -41,6 +41,7 @@ impl RegionShared {
 #[derive(Debug, Clone)]
 pub struct Team {
     n: usize,
+    label: &'static str,
 }
 
 impl Team {
@@ -49,13 +50,27 @@ impl Team {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
+        Self::labeled(n, "")
+    }
+
+    /// Create a team of `n` threads whose regions are reported to any
+    /// installed [`crate::telemetry::TeamObserver`] under `label`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn labeled(n: usize, label: &'static str) -> Self {
         assert!(n >= 1, "a team needs at least one thread");
-        Team { n }
+        Team { n, label }
     }
 
     /// Team size.
     pub fn num_threads(&self) -> usize {
         self.n
+    }
+
+    /// The observer label given to [`Team::labeled`] (empty by default).
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     /// Execute `f` on every thread of the team (a `parallel` region).
@@ -65,30 +80,30 @@ impl Team {
         F: Fn(&mut ThreadCtx) + Sync,
     {
         let shared = RegionShared::new(self.n);
-        std::thread::scope(|s| {
-            for id in 1..self.n {
-                let shared = &shared;
-                let f = &f;
-                let n = self.n;
-                s.spawn(move || {
-                    let mut ctx = ThreadCtx {
-                        id,
-                        n,
-                        shared,
-                        single_count: 0,
-                        ordered_count: 0,
-                    };
-                    f(&mut ctx);
-                });
-            }
+        let observer = crate::telemetry::observer();
+        let run_worker = |id: usize, shared: &RegionShared| {
             let mut ctx = ThreadCtx {
-                id: 0,
+                id,
                 n: self.n,
-                shared: &shared,
+                shared,
                 single_count: 0,
                 ordered_count: 0,
             };
+            if let Some(obs) = &observer {
+                obs.region_begin(self.label, id, self.n);
+            }
             f(&mut ctx);
+            if let Some(obs) = &observer {
+                obs.region_end(self.label, id, self.n);
+            }
+        };
+        std::thread::scope(|s| {
+            for id in 1..self.n {
+                let shared = &shared;
+                let run_worker = &run_worker;
+                s.spawn(move || run_worker(id, shared));
+            }
+            run_worker(0, &shared);
         });
     }
 

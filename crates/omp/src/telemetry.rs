@@ -1,0 +1,102 @@
+//! Observer hook for parallel regions.
+//!
+//! A [`TeamObserver`] is notified when each worker of a [`crate::Team`]
+//! enters and leaves a parallel region, identified by the team's label
+//! (see [`crate::Team::labeled`]). The instrumentation layer in
+//! `maia-core` uses this to draw per-worker timelines of the experiment
+//! sweep; with no observer installed the cost is one atomic load per
+//! region, and zero per construct inside the region.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Region-level callbacks. Both have no-op defaults.
+pub trait TeamObserver: Send + Sync {
+    /// Worker `thread` of a `team`-wide region labeled `label` started
+    /// executing the region body.
+    fn region_begin(&self, _label: &'static str, _thread: usize, _team: usize) {}
+    /// Worker `thread` finished the region body.
+    fn region_end(&self, _label: &'static str, _thread: usize, _team: usize) {}
+}
+
+static OBSERVER_SET: AtomicBool = AtomicBool::new(false);
+static OBSERVER: RwLock<Option<Arc<dyn TeamObserver>>> = RwLock::new(None);
+
+/// Install (or, with `None`, remove) the process-wide region observer.
+pub fn set_team_observer(obs: Option<Arc<dyn TeamObserver>>) {
+    let mut slot = OBSERVER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    OBSERVER_SET.store(obs.is_some(), Ordering::Release);
+    *slot = obs;
+}
+
+/// The currently installed observer, if any. Captured once per region.
+pub(crate) fn observer() -> Option<Arc<dyn TeamObserver>> {
+    if !OBSERVER_SET.load(Ordering::Acquire) {
+        return None;
+    }
+    OBSERVER
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Team;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Mutex<Vec<(&'static str, usize, usize, bool)>>,
+    }
+
+    impl TeamObserver for Recorder {
+        fn region_begin(&self, label: &'static str, thread: usize, team: usize) {
+            self.events.lock().unwrap().push((label, thread, team, true));
+        }
+        fn region_end(&self, label: &'static str, thread: usize, team: usize) {
+            self.events.lock().unwrap().push((label, thread, team, false));
+        }
+    }
+
+    // The observer slot is process-global; serialize the tests that set it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn observer_sees_every_worker_once_per_region() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Arc::new(Recorder::default());
+        set_team_observer(Some(Arc::clone(&rec) as Arc<dyn TeamObserver>));
+        Team::labeled(3, "probe-test").parallel(|_ctx| {});
+        set_team_observer(None);
+        let events = rec.events.lock().unwrap();
+        let begins: Vec<usize> = events
+            .iter()
+            .filter(|e| e.0 == "probe-test" && e.3)
+            .map(|e| e.1)
+            .collect();
+        let ends: Vec<usize> = events
+            .iter()
+            .filter(|e| e.0 == "probe-test" && !e.3)
+            .map(|e| e.1)
+            .collect();
+        let mut b = begins.clone();
+        b.sort_unstable();
+        let mut e = ends.clone();
+        e.sort_unstable();
+        assert_eq!(b, vec![0, 1, 2]);
+        assert_eq!(e, vec![0, 1, 2]);
+        assert!(events.iter().all(|ev| ev.2 == 3));
+    }
+
+    #[test]
+    fn no_observer_is_a_no_op() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_team_observer(None);
+        assert!(observer().is_none());
+        Team::new(2).parallel(|_ctx| {});
+    }
+}

@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::probe::Probe;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a simulated process within one [`Engine`].
@@ -103,6 +104,9 @@ pub(crate) struct Shared {
     /// process yields; because virtual time does not pass while a process
     /// runs, deferring the wake to yield time is exact.
     wakes: Mutex<Vec<ProcessId>>,
+    /// Telemetry probe captured at engine construction, reachable from
+    /// process threads for explicit span annotations.
+    probe: Option<Arc<dyn Probe>>,
 }
 
 /// Private token used to unwind a process thread when the engine shuts down
@@ -162,6 +166,15 @@ impl ProcCtx {
     /// The request takes effect when the running process next yields.
     pub(crate) fn wake(&self, pid: ProcessId) {
         self.shared.wakes.lock().push(pid);
+    }
+
+    /// Report a named virtual-time span `[since, now]` to the engine's
+    /// telemetry probe, if one is attached. Used by higher layers (e.g.
+    /// MPI rank programs) to annotate timelines; a no-op otherwise.
+    pub fn emit_span(&self, name: &str, since: SimTime) {
+        if let Some(p) = &self.shared.probe {
+            p.span(name, since.as_ps(), self.now.as_ps(), self.pid);
+        }
     }
 
     fn yield_and_wait(&mut self, msg: YieldMsg) {
@@ -230,6 +243,7 @@ pub struct Engine {
     seq: u64,
     ran: bool,
     trace: Option<Vec<TraceRecord>>,
+    probe: Option<Arc<dyn Probe>>,
 }
 
 impl Default for Engine {
@@ -243,15 +257,22 @@ impl Engine {
     pub fn new() -> Self {
         install_quiet_shutdown_hook();
         let (yield_tx, yield_rx) = unbounded();
+        // Captured once; the factory resolves per-construction-thread so a
+        // parallel sweep can attribute each engine to its own experiment.
+        let probe = crate::probe::probe_for_current_thread();
         Engine {
             procs: Vec::new(),
-            shared: Arc::new(Shared::default()),
+            shared: Arc::new(Shared {
+                wakes: Mutex::new(Vec::new()),
+                probe: probe.clone(),
+            }),
             yield_tx,
             yield_rx,
             queue: BinaryHeap::new(),
             seq: 0,
             ran: false,
             trace: None,
+            probe,
         }
     }
 
@@ -313,6 +334,9 @@ impl Engine {
             })
             .expect("failed to spawn simulation process thread");
 
+        if let Some(p) = &self.probe {
+            p.process_spawned(pid, &name);
+        }
         self.push_event(SimTime::ZERO, pid.0);
         self.procs.push(ProcEntry {
             name,
@@ -324,6 +348,9 @@ impl Engine {
     }
 
     fn push_event(&mut self, at: SimTime, pid: usize) {
+        if let Some(p) = &self.probe {
+            p.event_scheduled(at.as_ps(), ProcessId(pid));
+        }
         self.queue.push(Reverse((at, self.seq, pid)));
         self.seq += 1;
     }
@@ -356,6 +383,9 @@ impl Engine {
             if let Some(t) = self.trace.as_mut() {
                 t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId(pidx), kind: TraceKind::Resumed });
             }
+            if let Some(p) = &self.probe {
+                p.event_fired(now.as_ps(), ProcessId(pidx), self.queue.len());
+            }
             if self.procs[pidx].resume_tx.send(Resume { now }).is_err() {
                 return Err(SimError::ProcessPanicked {
                     name: self.procs[pidx].name.clone(),
@@ -373,6 +403,9 @@ impl Engine {
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Advanced });
                     }
+                    if let Some(p) = &self.probe {
+                        p.advanced(now.as_ps(), pid, dur.as_ps());
+                    }
                     self.push_event(at, pid.0);
                 }
                 YieldMsg::Blocked { pid } => {
@@ -380,11 +413,17 @@ impl Engine {
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Blocked });
                     }
+                    if let Some(p) = &self.probe {
+                        p.blocked(now.as_ps(), pid);
+                    }
                 }
                 YieldMsg::Finished { pid } => {
                     self.procs[pid.0].state = ProcState::Finished;
                     if let Some(t) = self.trace.as_mut() {
                         t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Finished });
+                    }
+                    if let Some(p) = &self.probe {
+                        p.finished(now.as_ps(), pid);
                     }
                     if let Some(h) = self.procs[pid.0].handle.take() {
                         let _ = h.join();
@@ -417,6 +456,9 @@ impl Engine {
             .map(|p| p.name.clone())
             .collect();
         if blocked.is_empty() {
+            if let Some(p) = &self.probe {
+                p.run_complete(now.as_ps());
+            }
             Ok((now, self.trace.take().unwrap_or_default()))
         } else {
             Err(SimError::Deadlock { blocked, at: now })

@@ -45,8 +45,10 @@
 
 pub mod channel;
 pub mod engine;
+pub mod probe;
 pub mod resource;
 pub mod time;
 
 pub use engine::{Engine, ProcCtx, ProcessId, SimError, TraceKind, TraceRecord};
+pub use probe::{set_probe_factory, Probe};
 pub use time::{SimDuration, SimTime};

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::engine::{ProcCtx, ProcessId};
+use crate::probe::Probe;
 use crate::time::SimDuration;
 
 struct Inner {
@@ -24,15 +25,21 @@ struct Inner {
     waiters: VecDeque<ProcessId>,
 }
 
+/// Telemetry probe captured at construction (see [`crate::probe`]);
+/// kept outside `Inner` so probe callbacks never run under the lock.
+struct Probed(Option<Arc<dyn Probe>>);
+
 /// A counted resource shared by simulated processes.
 pub struct Resource {
     inner: Arc<Mutex<Inner>>,
+    probe: Arc<Probed>,
 }
 
 impl Clone for Resource {
     fn clone(&self) -> Self {
         Resource {
             inner: Arc::clone(&self.inner),
+            probe: Arc::clone(&self.probe),
         }
     }
 }
@@ -52,6 +59,7 @@ impl Resource {
                 in_use: 0,
                 waiters: VecDeque::new(),
             })),
+            probe: Arc::new(Probed(crate::probe::probe_for_current_thread())),
         }
     }
 
@@ -72,16 +80,22 @@ impl Resource {
 
     /// Acquire one unit, blocking in virtual time while none is free.
     pub fn acquire(&self, ctx: &mut ProcCtx) {
+        let entered = ctx.now();
         loop {
             {
                 let mut inner = self.inner.lock();
                 if inner.in_use < inner.capacity {
                     inner.in_use += 1;
-                    return;
+                    break;
                 }
                 inner.waiters.push_back(ctx.pid());
             }
             ctx.block();
+        }
+        if let Some(p) = &self.probe.0 {
+            let wait_ps = ctx.now().as_ps() - entered.as_ps();
+            let name = self.inner.lock().name.clone();
+            p.resource_wait(&name, ctx.pid(), wait_ps);
         }
     }
 
@@ -109,6 +123,10 @@ impl Resource {
         self.acquire(ctx);
         ctx.advance(dur);
         self.release(ctx);
+        if let Some(p) = &self.probe.0 {
+            let name = self.inner.lock().name.clone();
+            p.resource_service(&name, ctx.pid(), dur.as_ps());
+        }
     }
 }
 

@@ -1,0 +1,82 @@
+//! `trace_lint` — CI schema check for `maia-bench profile --trace` output.
+//!
+//! Usage: `trace_lint <trace.json>`. Exits 0 iff the file is a valid
+//! JSON array of Chrome trace events: every element is an object whose
+//! `ph`, `ts` and `name` fields exist with the right types (`ts` may be
+//! absent only on `ph:"M"` metadata records, which carry `args`
+//! instead). Anything else — unreadable file, malformed JSON, a
+//! non-object element, a missing key — prints the reason and exits 1.
+
+use maia_tests::minijson::{parse, Json};
+
+fn lint(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let events = doc.as_array().ok_or("top-level value is not an array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string 'name'"))?;
+        if ev.get("ts").and_then(Json::as_f64).is_none() && ph != "M" {
+            return Err(format!("event {i}: missing numeric 'ts' on ph:\"{ph}\""));
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_lint <trace.json>");
+            std::process::exit(1);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match lint(&text) {
+        Ok(n) => println!("trace_lint: {path}: {n} events ok"),
+        Err(why) => {
+            eprintln!("trace_lint: {path}: {why}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint;
+
+    #[test]
+    fn accepts_minimal_trace() {
+        let ok = r#"[{"name":"process_name","ph":"M","pid":1,"args":{"name":"F05"}},
+                     {"name":"rank-0","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":1.5}]"#;
+        assert_eq!(lint(ok).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for bad in [
+            "{}",
+            "[]",
+            "[1]",
+            r#"[{"ph":"X","ts":0}]"#,
+            r#"[{"name":"a","ts":0}]"#,
+            r#"[{"name":"a","ph":"X"}]"#,
+            "[{\"name\":\"a\",",
+        ] {
+            assert!(lint(bad).is_err(), "{bad:?} should fail lint");
+        }
+    }
+}
