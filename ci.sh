@@ -29,6 +29,27 @@ echo "== profile smoke: maia-bench profile --only fig_04 --trace + trace_lint"
 ./target/release/maia-bench profile --only fig_04 --trace "$tmp" >/dev/null
 ./target/release/trace_lint "$tmp"
 
+echo "== faults smoke: maia-bench faults --plan degraded-stack vs tests/golden/resilience.md"
+# Bit-identical resilience report at fixed plan/seed/--jobs: a diff here
+# means fault injection stopped being deterministic, or a hook leaked
+# into (or drifted from) the nominal models.
+./target/release/maia-bench faults --plan degraded-stack --only F07,F08,F09,F18 --jobs 2 >"$tmp"
+diff -u tests/golden/resilience.md "$tmp"
+
+echo "== fail-soft gate: injected panic isolates one experiment, exit 1, partial report"
+set +e
+MAIA_FAULT_PANIC=F17 ./target/release/maia-bench run --only F17,T01 --jobs 2 >"$tmp" 2>/dev/null
+failsoft_rc=$?
+set -e
+if [ "$failsoft_rc" -ne 1 ]; then
+    echo "FAIL: expected exit 1 from a sweep with an injected panic, got $failsoft_rc" >&2
+    exit 1
+fi
+grep -q '^## T1 ' "$tmp" || {
+    echo "FAIL: partial report missing the surviving experiment (T1)" >&2
+    exit 1
+}
+
 echo "== parallel speedup (informational; asserted only with >= 4 cores)"
 t_start=$(date +%s%N)
 ./target/release/maia-bench run --all --jobs 1 >/dev/null 2>&1

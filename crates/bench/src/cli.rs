@@ -13,7 +13,8 @@
 use std::path::PathBuf;
 
 use maia_core::{
-    check_sweep, run_selection, telemetry, ConformanceReport, ExperimentSelection, SweepReport,
+    check_sweep, faults, run_selection, telemetry, ConformanceReport, ExperimentSelection,
+    SweepReport,
 };
 
 /// Output format for experiment tables and reports.
@@ -164,6 +165,15 @@ pub struct ProfileOptions {
     pub trace: Option<PathBuf>,
 }
 
+/// Parsed `faults` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultsOptions {
+    /// Shared flags (`format` restricted to md/json at parse time).
+    pub common: CommonArgs,
+    /// Canned plan name or path to a fault-plan file.
+    pub plan: String,
+}
+
 /// One parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -173,6 +183,8 @@ pub enum Command {
     Check(CheckOptions),
     /// `maia-bench profile ...`
     Profile(ProfileOptions),
+    /// `maia-bench faults ...`
+    Faults(FaultsOptions),
     /// `maia-bench list`
     List,
     /// `maia-bench help` (or no arguments).
@@ -188,10 +200,11 @@ USAGE:
     maia-bench run     [COMMON] [--bench-json PATH] [--metrics md|json]
     maia-bench check   [COMMON] [--metrics md|json]
     maia-bench profile [COMMON] [--trace PATH] [--metrics md|json]
+    maia-bench faults  [COMMON] --plan NAME|FILE
     maia-bench list
     maia-bench help
 
-COMMON OPTIONS (shared by run, check and profile):
+COMMON OPTIONS (shared by run, check, profile and faults):
     --all              Select every experiment (default when --only absent)
     --only CODES       Comma-separated codes: F04,F21 (also f4, fig_04, table1)
     --format FORMAT    md (default), csv or json (reports: md or json only)
@@ -218,13 +231,24 @@ profile:
     bit-identical across runs at a fixed --jobs; wall-clock fields live in
     a separate 'wall' section (cat \"wall\" in the trace).
 
-EXIT CODES:
-    0  success (run/profile) / all predicates conformant (check)
-    1  runtime failure, or conformance violations found (check)
+faults:
+    --plan NAME|FILE   Canned plan (degraded-stack, dead-card, gddr-degraded,
+                       straggler) or a fault-plan text file
+    Runs the selection twice — nominal, then with the plan's deterministic
+    faults armed — and reports per-experiment deltas, injected model time
+    and mode switches. Same plan + seed + --jobs => bit-identical report.
+
+EXIT CODES (shared by every subcommand):
+    0  success: every experiment completed (check: and all predicates
+       conformant)
+    1  conformance violations (check), experiment failures isolated by the
+       fail-soft executor (panic/deadlock/timeout; partial report is still
+       printed), or any other runtime failure
     2  usage error (unknown subcommand, flag, experiment code or format)
 
 Tables go to stdout (or --out); the per-experiment timing summary always
-goes to stderr.
+goes to stderr. A sweep with failures still prints every completed
+experiment before exiting 1.
 ";
 
 fn default_jobs() -> usize {
@@ -321,8 +345,49 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Profile(ProfileOptions { common, trace }))
         }
+        Some("faults") => {
+            let mut common = CommonParser::default();
+            let mut plan = None;
+            while let Some(arg) = it.next() {
+                if common.accept(arg, &mut it)? {
+                    continue;
+                }
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--plan" => plan = Some(value("--plan")?),
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            let common = common.finish()?;
+            if common.format == Format::Csv {
+                return Err("faults reports are md or json, not csv".into());
+            }
+            let plan = plan.ok_or("faults requires --plan NAME|FILE")?;
+            Ok(Command::Faults(FaultsOptions { common, plan }))
+        }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
     }
+}
+
+/// Resolve `--plan`: a canned name first, else a fault-plan text file.
+pub fn resolve_plan(spec: &str) -> Result<faults::FaultPlan, String> {
+    if let Some(plan) = faults::FaultPlan::named(spec) {
+        return Ok(plan);
+    }
+    let path = std::path::Path::new(spec);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading fault plan {spec}: {e}"))?;
+        return faults::FaultPlan::parse(&text);
+    }
+    Err(format!(
+        "unknown fault plan '{spec}' (canned plans: {}; or pass a plan file)",
+        faults::PLAN_NAMES.join(", ")
+    ))
 }
 
 /// Render the `list` subcommand.
@@ -391,6 +456,10 @@ pub struct CheckOutcome {
     pub payload: String,
     /// The raw conformance results (exit code, stderr summary).
     pub report: ConformanceReport,
+    /// Experiments the fail-soft executor lost while regenerating the
+    /// selection (forces exit 1 even when every surviving predicate
+    /// passes).
+    pub failures: Vec<maia_core::ExperimentFailure>,
     /// Rendered telemetry report when `--metrics` was given.
     pub metrics: Option<String>,
 }
@@ -418,6 +487,7 @@ pub fn execute_check(opts: &CheckOptions) -> Result<CheckOutcome, String> {
     Ok(CheckOutcome {
         payload,
         report,
+        failures: sweep.failures,
         metrics,
     })
 }
@@ -447,6 +517,32 @@ pub fn execute_profile(opts: &ProfileOptions) -> Result<ProfileOutcome, String> 
         rendered
     };
     Ok(ProfileOutcome { payload, report })
+}
+
+/// Result of `faults`.
+pub struct FaultsOutcome {
+    /// Rendered resilience report, or the written file path with `--out`.
+    pub payload: String,
+    /// The raw report (exit code: nonzero when either sweep lost
+    /// experiments).
+    pub report: faults::ResilienceReport,
+}
+
+/// Run the nominal-vs-degraded resilience comparison.
+pub fn execute_faults(opts: &FaultsOptions) -> Result<FaultsOutcome, String> {
+    let plan = resolve_plan(&opts.plan)?;
+    let report = faults::run_resilience(&plan, &opts.common.selection, opts.common.jobs);
+    let rendered = match opts.common.format {
+        Format::Json => report.to_json(),
+        _ => report.to_markdown(),
+    };
+    let payload = if let Some(path) = &opts.common.out {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        format!("{}\n", path.display())
+    } else {
+        rendered
+    };
+    Ok(FaultsOutcome { payload, report })
 }
 
 fn render_metrics(profile: &maia_core::ProfileReport, fmt: Format) -> String {
@@ -489,7 +585,9 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 if let Some(metrics) = out.metrics {
                     eprint!("{metrics}");
                 }
-                0
+                // Fail-soft contract: the partial report above is
+                // printed in full, then failures force exit 1.
+                i32::from(!out.report.failures.is_empty())
             }
             Err(e) => {
                 eprintln!("maia-bench: {e}");
@@ -502,8 +600,15 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 if let Some(metrics) = out.metrics {
                     eprint!("{metrics}");
                 }
+                for f in &out.failures {
+                    eprintln!("{}", f.to_line());
+                }
                 eprintln!("maia-bench check: {}", out.report.summary());
-                check_exit_code(&out.report)
+                if out.failures.is_empty() {
+                    check_exit_code(&out.report)
+                } else {
+                    1
+                }
             }
             Err(e) => {
                 eprintln!("maia-bench: {e}");
@@ -514,7 +619,17 @@ pub fn main_with_args(args: &[String]) -> i32 {
             Ok(out) => {
                 print!("{}", out.payload);
                 eprint!("{}", out.report.timing_summary());
-                0
+                i32::from(!out.report.failures.is_empty())
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Ok(Command::Faults(opts)) => match execute_faults(&opts) {
+            Ok(out) => {
+                print!("{}", out.payload);
+                i32::from(out.report.has_failures())
             }
             Err(e) => {
                 eprintln!("maia-bench: {e}");
@@ -614,10 +729,49 @@ mod tests {
             vec!["profile", "--format", "csv"],
             vec!["profile", "--metrics", "csv"],
             vec!["profile", "--wat"],
+            vec!["faults"],                         // --plan is mandatory
+            vec!["faults", "--plan"],               // missing value
+            vec!["faults", "--plan", "x", "--format", "csv"],
+            vec!["faults", "--plan", "x", "--trace", "t.json"], // profile-only
             vec!["frobnicate"],
         ] {
             let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(parse(&owned).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn faults_parses_plan_and_common_flags() {
+        let Command::Faults(opts) =
+            parse_ok(&["faults", "--plan", "degraded-stack", "--only", "F08", "--jobs", "2"])
+        else {
+            panic!("expected faults");
+        };
+        assert_eq!(opts.plan, "degraded-stack");
+        assert_eq!(opts.common.jobs, 2);
+        assert_eq!(
+            opts.common.selection,
+            ExperimentSelection::Ids(vec![ExperimentId::F8PcieBandwidth])
+        );
+    }
+
+    #[test]
+    fn resolve_plan_accepts_canned_names_and_files() {
+        let canned = resolve_plan("degraded-stack").expect("canned plan");
+        assert_eq!(canned.name, "degraded-stack");
+        assert!(resolve_plan("no-such-plan-or-file").is_err());
+
+        let path = std::env::temp_dir().join("maia-cli-plan-test.txt");
+        std::fs::write(&path, canned.to_text()).unwrap();
+        let from_file = resolve_plan(path.to_str().unwrap()).expect("plan file");
+        assert_eq!(from_file, canned);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn usage_documents_the_exit_code_contract() {
+        for needle in ["EXIT CODES", "faults", "--plan", "usage error"] {
+            assert!(USAGE.contains(needle), "USAGE lacks {needle:?}");
         }
     }
 

@@ -62,7 +62,16 @@ pub fn render_experiments_md() -> String {
         "Regenerate any artifact with `cargo run -p maia-bench --bin fig_<id>` \
          (e.g. `fig_04`), or everything with `--bin report`. Validate every \
          paper-published shape with `maia-bench check --all` (the CI gate); \
-         profile any selection with `maia-bench profile --only <ids>`.\n\n",
+         profile any selection with `maia-bench profile --only <ids>`.\n\n\
+         Degraded-stack variants: `maia-bench faults --plan <name>` re-runs a \
+         selection under a deterministic fault plan and reports the deltas. \
+         The MPI-over-PCIe figures F07\u{2013}F09 respond to the `dapl-fallback` \
+         and `degraded-link` faults (the `degraded-stack` plan reproduces the \
+         paper's pre-update numbers), the offload transfer figure F18 to \
+         `degraded-pcie` lane loss, the STREAM/GDDR figure F04 to `gddr-banks` \
+         degradation, and the mode-comparison artifacts F23 and F25\u{2013}F27 \
+         to a `dead-card` fault (offload and symmetric runs degrade to \
+         host-only and report the mode switch).\n\n",
     );
     out.push_str(&render_conformance_index(&dominant));
     for run in &sweep.runs {

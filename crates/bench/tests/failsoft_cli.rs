@@ -1,0 +1,120 @@
+//! End-to-end fail-soft and fault-plan tests against the real
+//! `maia-bench` binary: forced failures are injected via the
+//! `MAIA_FAULT_*` environment variables (each test spawns its own
+//! process, so nothing here races process-global state).
+
+use std::process::{Command, Output};
+
+fn bench(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_maia-bench"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawning maia-bench failed")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A forced panic makes `run` exit 1 but still print the partial report
+/// for every surviving experiment, and the failure line carries the
+/// originating simulated process name and virtual time.
+#[test]
+fn run_with_forced_panic_exits_nonzero_with_partial_report() {
+    let out = bench(
+        &["run", "--only", "F17,T01", "--jobs", "2"],
+        &[("MAIA_FAULT_PANIC", "F17")],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let so = stdout(&out);
+    assert!(so.contains("## T1 "), "partial report missing T1: {so}");
+    assert!(!so.contains("## F17 "), "failed experiment should have no table");
+    let se = stderr(&out);
+    assert!(se.contains("FAILED F17 [panic]"), "stderr: {se}");
+    assert!(
+        se.contains("rank-0-F17") && se.contains("panicked at"),
+        "failure line lacks process name / virtual time: {se}"
+    );
+}
+
+/// A forced deadlock is classified as such, with the engine's blocked-
+/// process diagnosis in the detail.
+#[test]
+fn run_with_forced_deadlock_reports_deadlock_detail() {
+    let out = bench(
+        &["run", "--only", "F17,T01", "--jobs", "2"],
+        &[("MAIA_FAULT_DEADLOCK", "F17")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let se = stderr(&out);
+    assert!(se.contains("FAILED F17 [deadlock]"), "stderr: {se}");
+    assert!(se.contains("simulation deadlocked at"), "stderr: {se}");
+    assert!(stdout(&out).contains("## T1 "));
+}
+
+/// A hung experiment trips the wall-clock watchdog.
+#[test]
+fn run_with_hung_experiment_times_out() {
+    let out = bench(
+        &["run", "--only", "F17,T01", "--jobs", "2"],
+        &[("MAIA_FAULT_HANG", "F17"), ("MAIA_EXPERIMENT_TIMEOUT_S", "1")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let se = stderr(&out);
+    assert!(se.contains("FAILED F17 [timeout]"), "stderr: {se}");
+    assert!(se.contains("watchdog"), "stderr: {se}");
+    assert!(stdout(&out).contains("## T1 "));
+}
+
+/// `check` also fails soft: surviving predicates are evaluated, the
+/// lost experiment forces exit 1.
+#[test]
+fn check_with_forced_panic_exits_nonzero() {
+    let out = bench(
+        &["check", "--only", "F17,T01", "--jobs", "2"],
+        &[("MAIA_FAULT_PANIC", "F17")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("FAILED F17 [panic]"));
+}
+
+/// `maia-bench faults` is bit-deterministic: two runs at the same plan,
+/// seed and --jobs produce identical reports, in md and json alike.
+#[test]
+fn faults_report_is_bit_identical_across_runs() {
+    let args = ["faults", "--plan", "degraded-stack", "--only", "F07,F08,F09", "--jobs", "2"];
+    let a = bench(&args, &[]);
+    let b = bench(&args, &[]);
+    assert_eq!(a.status.code(), Some(0), "stderr: {}", stderr(&a));
+    assert_eq!(stdout(&a), stdout(&b));
+    let so = stdout(&a);
+    assert!(so.contains("# Resilience report — plan 'degraded-stack'"), "{so}");
+    assert!(so.contains("dapl-fallback"));
+
+    let mut json_args = args.to_vec();
+    json_args.extend_from_slice(&["--format", "json"]);
+    let ja = bench(&json_args, &[]);
+    let jb = bench(&json_args, &[]);
+    assert_eq!(ja.status.code(), Some(0));
+    assert_eq!(stdout(&ja), stdout(&jb));
+    assert!(stdout(&ja).contains("\"plan\": \"degraded-stack\""));
+}
+
+/// Usage errors keep the distinct exit code 2 (vs. 1 for failures).
+#[test]
+fn usage_errors_exit_two() {
+    for args in [&["faults"][..], &["faults", "--plan", "x", "--wat"][..]] {
+        let out = bench(args, &[]);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // Unknown plan *name* is a runtime failure, not a usage error.
+    let out = bench(&["faults", "--plan", "warp-core", "--only", "T01"], &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown fault plan"));
+}

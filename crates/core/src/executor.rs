@@ -12,8 +12,17 @@
 //! the [`crate::cache`] layer guarantees a shared sub-model is computed
 //! once and reused bit-identically regardless of which experiment reaches
 //! it first.
+//!
+//! The sweep is **fail-soft**: each experiment executes on a dedicated
+//! guard thread under `catch_unwind` with a wall-clock watchdog
+//! (`MAIA_EXPERIMENT_TIMEOUT_S`, default 300 s). A panicking,
+//! deadlocking, or hung experiment becomes an [`ExperimentFailure`] in
+//! [`SweepReport::failures`] while every other experiment still
+//! completes — one sick model no longer tears down the whole sweep.
 
-use std::sync::Mutex;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 use maia_omp::{LoopState, Schedule, Team};
@@ -34,11 +43,65 @@ pub struct ExperimentRun {
     pub wall: Duration,
 }
 
+/// Why an experiment failed to produce its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The experiment (or a simulated process inside it) panicked.
+    Panic,
+    /// The simulation deadlocked (`SimError::Deadlock`).
+    Deadlock,
+    /// The wall-clock watchdog expired before the experiment yielded a
+    /// result.
+    Timeout,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Timeout => "timeout",
+        })
+    }
+}
+
+/// One experiment that did not finish: the panic payload, deadlock
+/// detail, or watchdog verdict, with the wall time spent before giving
+/// up.
+#[derive(Debug, Clone)]
+pub struct ExperimentFailure {
+    /// Which experiment failed.
+    pub id: ExperimentId,
+    /// How it failed.
+    pub kind: FailureKind,
+    /// Panic payload / `SimError` rendering / watchdog message. Sim
+    /// errors carry the originating process name and virtual time.
+    pub detail: String,
+    /// Wall-clock time spent before the failure was declared.
+    pub wall: Duration,
+}
+
+impl ExperimentFailure {
+    /// One-line rendering for stderr reports.
+    pub fn to_line(&self) -> String {
+        format!(
+            "FAILED {} [{}] after {:.1} ms: {}",
+            self.id.meta().code,
+            self.kind,
+            self.wall.as_secs_f64() * 1e3,
+            self.detail
+        )
+    }
+}
+
 /// Result of a full sweep.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     /// Finished experiments, in the order they were requested.
     pub runs: Vec<ExperimentRun>,
+    /// Experiments that panicked, deadlocked, or timed out — the sweep
+    /// completed everything else regardless.
+    pub failures: Vec<ExperimentFailure>,
     /// Wall-clock time of the whole sweep.
     pub wall: Duration,
     /// Worker threads used.
@@ -61,6 +124,10 @@ impl SweepReport {
                 run.id.meta().title,
             ));
         }
+        for failure in &self.failures {
+            out.push_str(&failure.to_line());
+            out.push('\n');
+        }
         let serial: f64 = self.runs.iter().map(|r| r.wall.as_secs_f64()).sum();
         out.push_str(&format!(
             "total {:.1} ms wall on {} job(s); {:.1} ms summed across experiments; \
@@ -71,6 +138,13 @@ impl SweepReport {
             self.cache.hits,
             self.cache.misses,
         ));
+        if !self.failures.is_empty() {
+            out.push_str(&format!(
+                "{} experiment(s) FAILED; {} completed\n",
+                self.failures.len(),
+                self.runs.len()
+            ));
+        }
         out
     }
 
@@ -95,6 +169,17 @@ impl SweepReport {
                 if i + 1 == self.runs.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"code\": \"{}\", \"kind\": \"{}\", \"wall_s\": {:.6} }}{}\n",
+                f.id.meta().code,
+                f.kind,
+                f.wall.as_secs_f64(),
+                if i + 1 == self.failures.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -114,7 +199,8 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
     let mut order: Vec<usize> = (0..ids.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(ids[i].meta().cost_estimate));
 
-    let slots: Mutex<Vec<Option<ExperimentRun>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
+    type SlotResult = Result<ExperimentRun, ExperimentFailure>;
+    let slots: Mutex<Vec<Option<SlotResult>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
     let team = Team::labeled(jobs, "sweep");
     let state = LoopState::new(0..order.len(), Schedule::Dynamic { chunk: 1 });
     team.parallel(|ctx| {
@@ -123,7 +209,7 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
             let idx = order[k];
             let id = ids[idx];
             let t0 = Instant::now();
-            let data = run_experiment_cached(id);
+            let result = run_experiment_guarded(id);
             let wall = t0.elapsed();
             telemetry::record_wall_span(
                 id.meta().code,
@@ -132,27 +218,141 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
                 wall.as_secs_f64(),
                 "wall-exp",
             );
-            let run = ExperimentRun { id, data, wall };
-            slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(run);
+            let entry = result.map(|data| ExperimentRun { id, data, wall });
+            slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(entry);
         });
     });
 
-    let runs: Vec<ExperimentRun> = slots
+    let mut runs: Vec<ExperimentRun> = Vec::with_capacity(ids.len());
+    let mut failures: Vec<ExperimentFailure> = Vec::new();
+    for (idx, slot) in slots
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|r| r.expect("worker finished without storing a result"))
-        .collect();
+        .enumerate()
+    {
+        match slot {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(failure)) => failures.push(failure),
+            // A worker that died before storing anything (e.g. killed by
+            // the pool) is reported, not expect()-ed on.
+            None => failures.push(ExperimentFailure {
+                id: ids[idx],
+                kind: FailureKind::Panic,
+                detail: "worker finished without storing a result".to_string(),
+                wall: Duration::ZERO,
+            }),
+        }
+    }
 
     let cache_after = cache::stats();
     SweepReport {
         runs,
+        failures,
         wall: start.elapsed(),
         jobs,
         cache: cache::CacheStats {
             hits: cache_after.hits - cache_before.hits,
             misses: cache_after.misses - cache_before.misses,
         },
+    }
+}
+
+/// Watchdog budget per experiment (`MAIA_EXPERIMENT_TIMEOUT_S`,
+/// default 300 s — far above any healthy experiment's wall time).
+fn watchdog_timeout() -> Duration {
+    std::env::var("MAIA_EXPERIMENT_TIMEOUT_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .map_or(Duration::from_secs(300), Duration::from_secs_f64)
+}
+
+/// Suppress the default panic hook's output for experiment guard
+/// threads: their panics are caught, classified, and reported through
+/// [`SweepReport::failures`], so the raw hook output would be noise.
+/// Chained like `maia_sim`'s quiet-shutdown hook; panics on any other
+/// thread still print normally.
+fn install_quiet_experiment_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("maia-exp-"));
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Run one experiment on a dedicated guard thread under `catch_unwind`,
+/// with the wall-clock watchdog. Panics become [`FailureKind::Panic`]
+/// (or [`FailureKind::Deadlock`] when the payload is a rendered
+/// `SimError::Deadlock`); a blown watchdog abandons the hung thread and
+/// returns [`FailureKind::Timeout`].
+fn run_experiment_guarded(id: ExperimentId) -> Result<FigureData, ExperimentFailure> {
+    install_quiet_experiment_hook();
+    let code = id.meta().code;
+    let t0 = Instant::now();
+    let timeout = watchdog_timeout();
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("maia-exp-{code}"))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                crate::faults::forced_failure_trigger(id);
+                run_experiment_cached(id)
+            }));
+            let _ = tx.send(result);
+        })
+        .expect("failed to spawn experiment guard thread");
+
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(data)) => {
+            let _ = handle.join();
+            Ok(data)
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            let detail = payload_to_string(payload);
+            let kind = if detail.contains("simulation deadlocked") {
+                FailureKind::Deadlock
+            } else {
+                FailureKind::Panic
+            };
+            Err(ExperimentFailure {
+                id,
+                kind,
+                detail,
+                wall: t0.elapsed(),
+            })
+        }
+        Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+            // The thread is hung (or died without sending); abandon it —
+            // there is no portable way to kill it — and report the
+            // watchdog verdict. Dropping `handle` detaches the thread.
+            Err(ExperimentFailure {
+                id,
+                kind: FailureKind::Timeout,
+                detail: format!(
+                    "no result within the {:.0} s watchdog (MAIA_EXPERIMENT_TIMEOUT_S); \
+                     guard thread abandoned",
+                    timeout.as_secs_f64()
+                ),
+                wall: t0.elapsed(),
+            })
+        }
     }
 }
 
@@ -179,10 +379,20 @@ pub fn run_selection(selection: &ExperimentSelection, jobs: usize) -> SweepRepor
 }
 
 /// Serial convenience wrapper: run one experiment through the same
-/// machinery the sweep uses (shared cache, timed) and return its table.
-pub fn run_one(id: ExperimentId) -> FigureData {
-    let report = run_experiments_parallel(&[id], 1);
-    report.runs.into_iter().next().expect("one run requested").data
+/// machinery the sweep uses (shared cache, timed, fail-soft) and return
+/// its table, or the failure that stopped it.
+pub fn run_one(id: ExperimentId) -> Result<FigureData, ExperimentFailure> {
+    let mut report = run_experiments_parallel(&[id], 1);
+    match (report.runs.pop(), report.failures.pop()) {
+        (Some(run), _) => Ok(run.data),
+        (None, Some(failure)) => Err(failure),
+        (None, None) => Err(ExperimentFailure {
+            id,
+            kind: FailureKind::Panic,
+            detail: "sweep returned neither a run nor a failure".to_string(),
+            wall: Duration::ZERO,
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -19,12 +19,17 @@
 pub mod cache;
 pub mod executor;
 pub mod experiments;
+pub mod faults;
 pub mod figdata;
 pub mod oracle;
 pub mod paper;
 pub mod telemetry;
 
-pub use executor::{run_experiments_parallel, run_selection, ExperimentRun, SweepReport};
+pub use executor::{
+    run_experiments_parallel, run_selection, ExperimentFailure, ExperimentRun, FailureKind,
+    SweepReport,
+};
+pub use faults::{run_resilience, Fault, FaultPlan, ForcedFailure, ResilienceReport};
 pub use experiments::{
     all_experiments, run_experiment, ExperimentId, ExperimentMeta, ExperimentSelection,
 };

@@ -140,7 +140,9 @@ pub struct WallSpan {
 pub(crate) struct Sink {
     pub counters: BTreeMap<String, u64>,
     /// Virtual time attributed per subsystem (`mpi-fabric`, `memory`,
-    /// `omp`, `io`, `pcie`, ...), picoseconds.
+    /// `omp`, `io`, `pcie`, `faults`, ...), picoseconds. The `faults`
+    /// bucket holds model time injected by an active
+    /// [`crate::faults::FaultPlan`] (clamped at zero per contribution).
     pub vt_ps: BTreeMap<String, u64>,
     /// Virtual time advanced per simulated process name.
     pub proc_vt_ps: BTreeMap<String, u64>,
@@ -265,6 +267,38 @@ pub fn add_model_vt(subsystem: &str, ns: f64) {
         let ps = (ns * 1e3).round().max(0.0) as u64;
         *lock_sink(&sink).vt_ps.entry(subsystem.to_string()).or_insert(0) += ps;
     }
+}
+
+/// Fault-injected model time from threads without a scope (simulated
+/// rank threads never inherit the experiment sink), merged by `collect`
+/// into the shared `faults` domain.
+static ORPHAN_FAULT_VT_PS: AtomicU64 = AtomicU64::new(0);
+
+/// Attribute fault-injected model time to the `faults` subsystem
+/// bucket. Unlike [`add_model_vt`] this also works on threads without a
+/// scope — the fault observers fire on simulated rank threads, which
+/// run outside any experiment scope — by accumulating into a
+/// process-global bucket that [`collect`] reports as a shared `faults`
+/// domain. The total stays deterministic: it is a sum over the fixed
+/// multiset of model calls, regardless of thread interleaving.
+pub(crate) fn add_fault_vt(ns: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let ps = (ns * 1e3).round().max(0.0) as u64;
+    if ps == 0 {
+        return;
+    }
+    if let Some(sink) = current_sink() {
+        *lock_sink(&sink).vt_ps.entry("faults".to_string()).or_insert(0) += ps;
+    } else {
+        ORPHAN_FAULT_VT_PS.fetch_add(ps, Ordering::Relaxed);
+    }
+}
+
+/// Drain the orphan fault bucket (called once per [`collect`]).
+pub(crate) fn take_orphan_fault_vt_ps() -> u64 {
+    ORPHAN_FAULT_VT_PS.swap(0, Ordering::Relaxed)
 }
 
 /// Record `value` into histogram `name` on the innermost scope.

@@ -196,6 +196,23 @@ pub fn collect(sweep: &SweepReport) -> ProfileReport {
         }
         d.dropped_spans += s.dropped_spans;
     }
+    // Fault-injected time noted on scope-less sim rank threads lands in
+    // a process-global bucket; surface it as the shared `faults` domain.
+    let orphan_fault_ps = super::take_orphan_fault_vt_ps();
+    if orphan_fault_ps > 0 {
+        let d = domains
+            .entry("faults".to_string())
+            .or_insert_with(|| DomainProfile {
+                domain: "faults".to_string(),
+                keys: 0,
+                counters: BTreeMap::new(),
+                vt_ps: BTreeMap::new(),
+                sim: SimCounters::default(),
+                spans: Vec::new(),
+                dropped_spans: 0,
+            });
+        *d.vt_ps.entry("faults".to_string()).or_insert(0) += orphan_fault_ps;
+    }
     let domains: Vec<DomainProfile> = domains.into_values().collect();
 
     let requested: Vec<&str> = sweep.runs.iter().map(|r| r.id.meta().code).collect();

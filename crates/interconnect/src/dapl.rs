@@ -60,6 +60,23 @@ pub const SCIF_THRESHOLD: u64 = 256 * 1024;
 const STAGING_COPY_GBS: f64 = 5.0;
 
 impl SoftwareStack {
+    /// The stack that actually serves traffic right now.
+    ///
+    /// Under the forced-fallback fault
+    /// ([`crate::faults::set_dapl_fallback`]) the post-update stack
+    /// degrades to the pre-update CCL-direct configuration — exactly the
+    /// regression the paper's software update fixed — reusing the
+    /// pre-update constants already calibrated above (no new numbers).
+    /// Without the fault this is the identity.
+    pub fn effective(self) -> SoftwareStack {
+        match self {
+            SoftwareStack::PostUpdate if crate::faults::dapl_fallback_forced() => {
+                SoftwareStack::PreUpdate
+            }
+            s => s,
+        }
+    }
+
     /// Which provider carries a message of `bytes`.
     pub fn provider_for(self, bytes: u64) -> Provider {
         match self {
@@ -128,7 +145,25 @@ impl SoftwareStack {
     }
 
     /// One-way time in seconds for an MPI message of `bytes` on `path`.
+    ///
+    /// Dispatches through [`SoftwareStack::effective`]: a forced DAPL
+    /// fallback silently re-prices post-update traffic with the
+    /// pre-update stack and reports the (signed) delta to the
+    /// fault-injection observer.
     pub fn message_time_s(self, path: NodePath, bytes: u64) -> f64 {
+        let eff = self.effective();
+        let t = eff.raw_message_time_s(path, bytes);
+        if eff != self {
+            // The delta can be negative: the pre-update phi0-phi1 eager
+            // latency (6.3 us) undercuts post-update (6.6 us).
+            crate::faults::note_injected_s(t - self.raw_message_time_s(path, bytes));
+        }
+        t
+    }
+
+    /// The undegraded model: one-way time for `bytes` on `path` priced
+    /// strictly by `self`'s own provider/protocol tables.
+    fn raw_message_time_s(self, path: NodePath, bytes: u64) -> f64 {
         let provider = self.provider_for(bytes);
         let protocol = self.protocol_for(bytes);
         let lat = self.base_latency_us(path) * 1e-6;

@@ -14,6 +14,7 @@
 //!   ([`ib`]) for inter-node comparisons.
 
 pub mod dapl;
+pub mod faults;
 pub mod ib;
 pub mod paths;
 pub mod pcie;

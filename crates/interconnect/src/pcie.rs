@@ -55,9 +55,22 @@ impl Default for PcieModel {
 }
 
 impl PcieModel {
-    /// Peak payload bandwidth in GB/s after line coding and TLP framing.
+    /// Fraction of the link's lanes still alive under the lane-width
+    /// fault, 1.0 nominally. PCIe bandwidth is linear in lane count, so
+    /// this scales the framing-derived peak directly.
+    fn lane_fraction(&self) -> f64 {
+        match crate::faults::degraded_pcie_lanes() {
+            Some(lanes) => f64::from(lanes.min(self.link.lanes)) / f64::from(self.link.lanes),
+            None => 1.0,
+        }
+    }
+
+    /// Peak payload bandwidth in GB/s after line coding and TLP framing
+    /// (scaled down by the surviving-lane fraction when the degraded
+    /// lane-width fault is armed).
     pub fn peak_payload_gbs(&self) -> f64 {
         self.link.link_bw_gbs() * tlp_efficiency(self.effective_payload_bytes)
+            * self.lane_fraction()
     }
 
     /// Time in seconds to DMA `bytes` to/from the given Phi.
@@ -66,17 +79,24 @@ impl PcieModel {
     /// Panics if `device` is the host — offload DMA targets a coprocessor.
     pub fn dma_time_s(&self, device: Device, bytes: u64) -> f64 {
         assert!(device.is_phi(), "offload DMA targets a Phi card");
-        let bw = self.peak_payload_gbs()
-            * if device == Device::Phi1 {
-                self.phi1_derate
-            } else {
-                1.0
-            };
+        let derate = if device == Device::Phi1 {
+            self.phi1_derate
+        } else {
+            1.0
+        };
+        let bw = self.peak_payload_gbs() * derate;
         let mut setup = self.dma_setup_us * 1e-6;
         if bytes == self.buffer_switch_bytes {
             setup += self.dma_setup_us * 1e-6;
         }
-        setup + bytes as f64 / (bw * 1e9)
+        let t = setup + bytes as f64 / (bw * 1e9);
+        let frac = self.lane_fraction();
+        if frac < 1.0 {
+            // Extra wire time relative to the full-width link.
+            let nominal_bw = bw / frac;
+            crate::faults::note_injected_s(t - (setup + bytes as f64 / (nominal_bw * 1e9)));
+        }
+        t
     }
 
     /// Achieved bandwidth in GB/s for a transfer of `bytes` — the

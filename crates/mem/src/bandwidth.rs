@@ -83,11 +83,32 @@ pub fn package_sustained_gbs(p: &ProcessorSpec) -> f64 {
 /// 140/180 is calibrated from that figure; the *trigger* (threads >
 /// banks) is the mechanism the paper identifies.
 pub fn bank_derating(p: &ProcessorSpec, threads: u32) -> f64 {
-    if p.memory.kind == MemoryKind::Gddr5 && threads > p.memory.total_banks() {
+    let banks = effective_banks(p);
+    if p.memory.kind == MemoryKind::Gddr5 && threads > banks {
         140.0 / 180.0
     } else {
         1.0
     }
+}
+
+/// Open banks actually available: the device total minus any banks the
+/// GDDR5-degradation fault has retired
+/// ([`crate::faults::set_gddr_disabled_banks`]), floored at one.
+fn effective_banks(p: &ProcessorSpec) -> u32 {
+    p.memory
+        .total_banks()
+        .saturating_sub(crate::faults::gddr_disabled_banks())
+        .max(1)
+}
+
+/// Bandwidth capacity factor of the GDDR5-degradation fault: the fraction
+/// of banks still serving streams, 1.0 on a healthy (or non-GDDR5) card.
+fn bank_capacity_factor(p: &ProcessorSpec) -> f64 {
+    let disabled = crate::faults::gddr_disabled_banks();
+    if disabled == 0 || p.memory.kind != MemoryKind::Gddr5 {
+        return 1.0;
+    }
+    f64::from(effective_banks(p)) / f64::from(p.memory.total_banks())
 }
 
 /// STREAM triad aggregate bandwidth for `threads` threads on one device
@@ -95,7 +116,7 @@ pub fn bank_derating(p: &ProcessorSpec, threads: u32) -> f64 {
 pub fn stream_triad_gbs(p: &ProcessorSpec, sockets: u32, threads: u32) -> f64 {
     assert!(threads >= 1, "at least one thread required");
     let per_thread = stream_thread_gbs(p);
-    let sustained = package_sustained_gbs(p) * sockets as f64;
+    let sustained = package_sustained_gbs(p) * sockets as f64 * bank_capacity_factor(p);
     (per_thread * threads as f64).min(sustained) * bank_derating(p, threads)
 }
 

@@ -1,0 +1,46 @@
+//! Deterministic fault-injection hooks for the memory models.
+//!
+//! Early GDDR5-equipped MIC cards shipped with ECC retiring degraded
+//! banks; the LRZ and TACC early-experience reports both mention memory
+//! components running below spec. The single fault modeled here is
+//! **GDDR5 bank degradation**: `disabled` of the 5110P's 128 open banks
+//! are retired, which (a) pulls the Figure 4 open-bank cliff to a lower
+//! thread count (the cliff triggers when concurrent streams exceed the
+//! *surviving* banks) and (b) scales peak sustained bandwidth by the
+//! surviving-bank fraction.
+//!
+//! As in `maia_interconnect::faults`, the inactive fast path is a single
+//! relaxed atomic load and zero disabled banks takes the exact nominal
+//! code path, so golden outputs stay byte-identical.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Retired GDDR5 banks (0 = healthy card).
+static DISABLED_BANKS: AtomicU32 = AtomicU32::new(0);
+
+/// Retire `disabled` GDDR5 banks (0 restores the healthy card).
+pub fn set_gddr_disabled_banks(disabled: u32) {
+    DISABLED_BANKS.store(disabled, Ordering::Release);
+}
+
+/// How many GDDR5 banks the active fault has retired.
+#[inline]
+pub fn gddr_disabled_banks() -> u32 {
+    DISABLED_BANKS.load(Ordering::Acquire)
+}
+
+/// Disarm the memory faults.
+pub fn clear() {
+    set_gddr_disabled_banks(0);
+}
+
+#[cfg(test)]
+mod tests {
+    // Mutation tests live in the serialized cross-crate suite
+    // (tests/tests/faults_resilience.rs); flipping the process-global
+    // hooks here would race the calibration tests in this binary.
+    #[test]
+    fn faults_default_inactive() {
+        assert_eq!(super::gddr_disabled_banks(), 0);
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod bandwidth;
 pub mod cache_sim;
+pub mod faults;
 pub mod hierarchy;
 pub mod latency;
 pub mod stream;

@@ -1,0 +1,91 @@
+//! Deterministic fault-injection hooks for the programming-mode models.
+//!
+//! The single fault here is a **dead MIC card** — the early-experience
+//! reports' most dramatic failure mode. The mode models degrade
+//! gracefully instead of erroring:
+//!
+//! * [`crate::offload::OffloadPlan::report`] targeting the dead card
+//!   falls back to pricing every region on the host (no transfers, no
+//!   coprocessor terms) and flags the report `degraded_to_host`;
+//! * [`crate::symmetric::SymmetricLayout::step`] drops the dead card
+//!   from the proportional split and from the halo-exchange paths.
+//!
+//! Both report the switch through the mode-switch observer so the
+//! resilience report can say *which* runs changed mode. Inactive cost:
+//! one relaxed atomic load, no arithmetic changes, byte-identical
+//! goldens.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use maia_arch::Device;
+
+/// 0 = no dead card, 1 = Phi0, 2 = Phi1.
+static DEAD_CARD: AtomicU8 = AtomicU8::new(0);
+
+/// Callback receiving a human-readable description of each graceful
+/// mode switch taken because of the fault.
+pub type ModeSwitchObserver = Arc<dyn Fn(&str) + Send + Sync>;
+
+static OBSERVER: OnceLock<RwLock<Option<ModeSwitchObserver>>> = OnceLock::new();
+
+fn observer_slot() -> &'static RwLock<Option<ModeSwitchObserver>> {
+    OBSERVER.get_or_init(|| RwLock::new(None))
+}
+
+/// Kill (or revive) a coprocessor.
+///
+/// # Panics
+/// Panics if asked to kill the host — only Phi cards can die here.
+pub fn set_dead_card(card: Option<Device>) {
+    let v = match card {
+        None => 0,
+        Some(Device::Phi0) => 1,
+        Some(Device::Phi1) => 2,
+        Some(Device::Host) => panic!("only a Phi card can be marked dead"),
+    };
+    DEAD_CARD.store(v, Ordering::Release);
+}
+
+/// Which card the active fault has killed, if any.
+#[inline]
+pub fn dead_card() -> Option<Device> {
+    match DEAD_CARD.load(Ordering::Acquire) {
+        1 => Some(Device::Phi0),
+        2 => Some(Device::Phi1),
+        _ => None,
+    }
+}
+
+/// Install (or remove) the mode-switch observer. `maia-core` collects
+/// these notes into the resilience report.
+pub fn set_mode_switch_observer(obs: Option<ModeSwitchObserver>) {
+    *observer_slot().write().unwrap_or_else(std::sync::PoisonError::into_inner) = obs;
+}
+
+/// Disarm the dead-card fault and drop the observer.
+pub fn clear() {
+    set_dead_card(None);
+    set_mode_switch_observer(None);
+}
+
+pub(crate) fn note_mode_switch(msg: &str) {
+    if let Some(obs) = observer_slot()
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+    {
+        obs(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Mutation tests live in the serialized cross-crate suite
+    // (tests/tests/faults_resilience.rs); flipping the process-global
+    // hooks here would race the calibrated mode tests in this binary.
+    #[test]
+    fn faults_default_inactive() {
+        assert_eq!(super::dead_card(), None);
+    }
+}

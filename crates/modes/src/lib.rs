@@ -11,6 +11,7 @@
 //!   host + Phi0 + Phi1, with PCIe communication through the DAPL stacks
 //!   (Figure 23).
 
+pub mod faults;
 pub mod offload;
 pub mod perf;
 pub mod symmetric;

@@ -72,6 +72,10 @@ pub struct OffloadReport {
     pub compute_s: f64,
     /// Residual host compute, seconds.
     pub host_compute_s: f64,
+    /// True when the dead-card fault forced this plan back onto the
+    /// host: every region was priced at host rates and no PCIe transfer
+    /// happened.
+    pub degraded_to_host: bool,
 }
 
 impl OffloadReport {
@@ -92,6 +96,9 @@ impl OffloadPlan {
     /// residue at `host_threads`.
     pub fn report(&self, device: Device, phi_threads: u32, host_threads: u32) -> OffloadReport {
         assert!(device.is_phi(), "offload targets a Phi card");
+        if crate::faults::dead_card() == Some(device) {
+            return self.host_fallback_report(device, host_threads);
+        }
         let pcie = PcieModel::default();
         let phi = PerfModel::phi();
         let host = PerfModel::host();
@@ -127,6 +134,37 @@ impl OffloadPlan {
             phi_side_s: phi_side,
             compute_s: compute,
             host_compute_s: host_compute,
+            degraded_to_host: false,
+        }
+    }
+
+    /// The graceful degradation taken when the offload target card is
+    /// dead: every region runs on the host at host rates, no setup or
+    /// staging or PCIe transfer is paid, and the mode switch is
+    /// reported to the fault observer.
+    fn host_fallback_report(&self, device: Device, host_threads: u32) -> OffloadReport {
+        crate::faults::note_mode_switch(&format!(
+            "offload plan '{}': target card {device:?} is dead; running host-only",
+            self.name
+        ));
+        let host = PerfModel::host();
+        let mut host_compute = self
+            .host_kernel
+            .as_ref()
+            .map_or(0.0, |k| host.unit_time_s(k, host_threads));
+        for r in &self.regions {
+            host_compute += r.invocations as f64 * host.unit_time_s(&r.kernel, host_threads);
+        }
+        OffloadReport {
+            plan_name: self.name.clone(),
+            invocations: 0,
+            bytes_transferred: 0,
+            host_side_s: 0.0,
+            pcie_s: 0.0,
+            phi_side_s: 0.0,
+            compute_s: 0.0,
+            host_compute_s: host_compute,
+            degraded_to_host: true,
         }
     }
 }

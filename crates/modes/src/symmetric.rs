@@ -39,6 +39,9 @@ pub struct SymmetricOutcome {
     pub comm_s: f64,
     /// Load-imbalance waste, seconds.
     pub imbalance_s: f64,
+    /// Phi cards dropped from the split by the dead-card fault
+    /// (0 on a healthy node).
+    pub dead_cards: u32,
 }
 
 impl SymmetricLayout {
@@ -58,17 +61,27 @@ impl SymmetricLayout {
     pub fn step(&self, kernel: &KernelProfile, halo_bytes: u64) -> SymmetricOutcome {
         let host = PerfModel::host();
         let phi = PerfModel::phi();
+        // A dead card drops out of the proportional split and its halo
+        // paths disappear; the job degrades to host + one Phi.
+        let dead = crate::faults::dead_card();
+        let phis_alive = if dead.is_some() { 1.0 } else { 2.0 };
+        if let Some(card) = dead {
+            crate::faults::note_mode_switch(&format!(
+                "symmetric step: card {card:?} is dead; degrading to host + 1 Phi"
+            ));
+        }
         // Device rates on the full kernel shape (Gflop/s).
         let host_rate = kernel.flops / host.unit_time_s(kernel, self.host_threads());
         let phi_rate = kernel.flops / phi.unit_time_s(kernel, self.phi_threads());
-        let total_rate = host_rate + 2.0 * phi_rate;
+        let total_rate = host_rate + phis_alive * phi_rate;
         // Ideal proportional split: everyone finishes simultaneously.
         let compute_s = kernel.flops / total_rate;
         let imbalance_s = compute_s * self.imbalance;
-        // Halo exchange across the three device pairs each step; the
+        // Halo exchange across the surviving device pairs each step; the
         // slowest path gates the step.
         let comm_s = NodePath::ALL
             .iter()
+            .filter(|&&p| !dead.is_some_and(|card| path_touches(p, card)))
             .map(|&p| self.stack.message_time_s(p, halo_bytes))
             .fold(0.0f64, f64::max)
             * 2.0; // both directions
@@ -77,6 +90,7 @@ impl SymmetricLayout {
             compute_s,
             comm_s,
             imbalance_s,
+            dead_cards: u32::from(dead.is_some()),
         }
     }
 
@@ -96,6 +110,15 @@ impl SymmetricLayout {
         let comm_s = IbLink::default().message_time_s(halo_bytes) * 2.0;
         compute_s * (1.0 + 0.2 * self.imbalance) + comm_s
     }
+}
+
+/// Does a node path have an endpoint on `card`?
+fn path_touches(p: NodePath, card: Device) -> bool {
+    matches!(
+        (p, card),
+        (NodePath::HostPhi0 | NodePath::Phi0Phi1, Device::Phi0)
+            | (NodePath::HostPhi1 | NodePath::Phi0Phi1, Device::Phi1)
+    )
 }
 
 /// Which device a work share landed on (for reports).

@@ -90,7 +90,11 @@ impl TransportModel {
             lat_us * 1e-6 + bytes as f64 / (bw_gbs * 1e9)
         } else {
             let path = NodePath::between(from.device, to.device);
-            self.stack.message_time_s(path, bytes)
+            let base = self.stack.message_time_s(path, bytes);
+            // A degraded link pays modeled timeout/retry/backoff rounds
+            // on every PCIe-crossing message (exact zero when the
+            // link fault is not armed).
+            base + crate::faults::link_retry_extra_s(base)
         };
         SimDuration::from_secs_f64(secs)
     }

@@ -200,8 +200,12 @@ impl Rank<'_> {
         self.ctx.now().as_secs_f64()
     }
 
-    /// Consume `dur` of virtual compute time.
+    /// Consume `dur` of virtual compute time. An armed straggler fault
+    /// ([`crate::faults::set_stragglers`]) stretches this rank's phases
+    /// once virtual time passes the fault's onset.
     pub fn compute(&mut self, dur: SimDuration) {
+        let dur =
+            crate::faults::stretched_compute(self.rank as u32, self.ctx.now().as_secs_f64(), dur);
         self.stats.compute_s += dur.as_secs_f64();
         self.ctx.advance(dur);
     }

@@ -60,6 +60,8 @@ pub enum SimError {
         name: String,
         /// Rendered panic payload.
         message: String,
+        /// Virtual time at which the process was running when it died.
+        at: SimTime,
     },
 }
 
@@ -69,8 +71,8 @@ impl fmt::Display for SimError {
             SimError::Deadlock { blocked, at } => {
                 write!(f, "simulation deadlocked at {at}; blocked: {}", blocked.join(", "))
             }
-            SimError::ProcessPanicked { name, message } => {
-                write!(f, "simulated process '{name}' panicked: {message}")
+            SimError::ProcessPanicked { name, message, at } => {
+                write!(f, "simulated process '{name}' panicked at {at}: {message}")
             }
         }
     }
@@ -347,6 +349,24 @@ impl Engine {
         pid
     }
 
+    /// Schedule `action` to run on the event wheel at virtual time `at`
+    /// (offset from time zero) — the injection point for *timed* faults:
+    /// the action fires in deterministic `(time, seq)` order with every
+    /// other event, so a fault plan replays identically across runs.
+    ///
+    /// Implemented as a plain process that advances to `at` and runs the
+    /// action, so it needs no new scheduler machinery and shows up in
+    /// traces/probes like any other process.
+    pub fn schedule_fault<F>(&mut self, name: impl Into<String>, at: SimDuration, action: F) -> ProcessId
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.spawn(name, move |ctx| {
+            ctx.advance(at);
+            action();
+        })
+    }
+
     fn push_event(&mut self, at: SimTime, pid: usize) {
         if let Some(p) = &self.probe {
             p.event_scheduled(at.as_ps(), ProcessId(pid));
@@ -390,6 +410,7 @@ impl Engine {
                 return Err(SimError::ProcessPanicked {
                     name: self.procs[pidx].name.clone(),
                     message: "process thread exited without yielding".to_string(),
+                    at: now,
                 });
             }
             let msg = self
@@ -433,6 +454,7 @@ impl Engine {
                     return Err(SimError::ProcessPanicked {
                         name: self.procs[pid.0].name.clone(),
                         message,
+                        at: now,
                     });
                 }
             }
@@ -577,12 +599,36 @@ mod tests {
         let mut eng = Engine::new();
         eng.spawn("boom", |_ctx| panic!("kaboom {}", 9));
         match eng.run() {
-            Err(SimError::ProcessPanicked { name, message }) => {
+            Err(SimError::ProcessPanicked { name, message, at }) => {
                 assert_eq!(name, "boom");
                 assert!(message.contains("kaboom 9"));
+                assert_eq!(at, SimTime::ZERO);
             }
             other => panic!("expected panic error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scheduled_fault_fires_at_its_virtual_time() {
+        let fired = Arc::new(PlMutex::new(None::<f64>));
+        let mut eng = Engine::new();
+        {
+            let fired = Arc::clone(&fired);
+            let probe = Arc::new(PlMutex::new(0.0f64));
+            let probe_w = Arc::clone(&probe);
+            eng.spawn("worker", move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimDuration::from_us(1.0));
+                    *probe_w.lock() = ctx.now().as_us();
+                }
+            });
+            eng.schedule_fault("fault", SimDuration::from_us(4.5), move || {
+                // Runs strictly between the worker's 4 us and 5 us ticks.
+                *fired.lock() = Some(*probe.lock());
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*fired.lock(), Some(4.0));
     }
 
     #[test]

@@ -4,10 +4,16 @@
 //! JSON array of Chrome trace events: every element is an object whose
 //! `ph`, `ts` and `name` fields exist with the right types (`ts` may be
 //! absent only on `ph:"M"` metadata records, which carry `args`
-//! instead). Anything else — unreadable file, malformed JSON, a
-//! non-object element, a missing key — prints the reason and exits 1.
+//! instead). Virtual-time bucket events (`cat:"vt"`, `tid:0`, name of
+//! the form `scope:subsystem`) must name a known subsystem — the model
+//! buckets plus the fault-injection `faults` bucket. Anything else —
+//! unreadable file, malformed JSON, a non-object element, a missing
+//! key, an unknown subsystem — prints the reason and exits 1.
 
 use maia_tests::minijson::{parse, Json};
+
+/// Subsystems allowed in `cat:"vt"` bucket events (`scope:subsystem`).
+const VT_SUBSYSTEMS: &[&str] = &["memory", "mpi-fabric", "omp", "io", "pcie", "faults"];
 
 fn lint(text: &str) -> Result<usize, String> {
     let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
@@ -20,11 +26,26 @@ fn lint(text: &str) -> Result<usize, String> {
             .get("ph")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
-        ev.get("name")
+        let name = ev
+            .get("name")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i}: missing string 'name'"))?;
         if ev.get("ts").and_then(Json::as_f64).is_none() && ph != "M" {
             return Err(format!("event {i}: missing numeric 'ts' on ph:\"{ph}\""));
+        }
+        // Per-subsystem vt buckets render as `scope:subsystem` on tid 0
+        // (per-process span events sit on tid >= 1 and are free-form).
+        if ph == "X"
+            && ev.get("cat").and_then(Json::as_str) == Some("vt")
+            && ev.get("tid").and_then(Json::as_f64) == Some(0.0)
+        {
+            if let Some((_, sub)) = name.rsplit_once(':') {
+                if !VT_SUBSYSTEMS.contains(&sub) {
+                    return Err(format!(
+                        "event {i}: unknown vt subsystem {sub:?} in name {name:?}"
+                    ));
+                }
+            }
         }
     }
     Ok(events.len())
@@ -63,6 +84,26 @@ mod tests {
         let ok = r#"[{"name":"process_name","ph":"M","pid":1,"args":{"name":"F05"}},
                      {"name":"rank-0","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":1.5}]"#;
         assert_eq!(lint(ok).unwrap(), 2);
+    }
+
+    #[test]
+    fn accepts_known_vt_subsystems_including_faults() {
+        for sub in super::VT_SUBSYSTEMS {
+            let ev = format!(
+                r#"[{{"name":"F08:{sub}","ph":"X","cat":"vt","pid":1,"tid":0,"ts":0.0,"dur":1.0}}]"#
+            );
+            assert_eq!(lint(&ev).unwrap(), 1, "subsystem {sub} should lint");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_vt_subsystem_on_tid0_only() {
+        let bad = r#"[{"name":"F08:warp","ph":"X","cat":"vt","pid":1,"tid":0,"ts":0.0,"dur":1.0}]"#;
+        assert!(lint(bad).is_err(), "unknown bucket subsystem should fail");
+        // Span events on tid >= 1 carry free-form names (process names
+        // may contain colons) and are exempt.
+        let span = r#"[{"name":"rank:3","ph":"X","cat":"vt","pid":1,"tid":2,"ts":0.0,"dur":1.0}]"#;
+        assert_eq!(lint(span).unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Fail-soft executor tests: a sweep with injected panicking,
+//! deadlocking and hanging experiments completes every other
+//! experiment, reports each failure with its kind and detail, and still
+//! produces correct data for the survivors.
+//!
+//! Forced failures and the watchdog env var are process-global, so the
+//! tests serialize on one mutex (this file is its own test binary, so
+//! nothing else in the workspace shares the state).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use maia_core::faults::{force_failure_for_tests, ForcedFailure};
+use maia_core::{
+    all_experiments, run_experiment, run_experiments_parallel, ExperimentId, FailureKind,
+};
+
+static SER: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acceptance criterion: with one panicking and one deadlocking
+/// experiment injected into the full 27-experiment sweep, the other 25
+/// complete with correct data and both failures are reported.
+#[test]
+fn sweep_isolates_panicking_and_deadlocking_experiments() {
+    let _g = serialize();
+    let panicker = ExperimentId::F17Io;
+    let deadlocker = ExperimentId::F21Cart3d;
+    force_failure_for_tests(panicker, Some(ForcedFailure::Panic));
+    force_failure_for_tests(deadlocker, Some(ForcedFailure::Deadlock));
+
+    let ids = all_experiments();
+    let report = run_experiments_parallel(&ids, 4);
+
+    force_failure_for_tests(panicker, None);
+    force_failure_for_tests(deadlocker, None);
+
+    assert_eq!(report.runs.len(), ids.len() - 2, "all survivors must complete");
+    assert_eq!(report.failures.len(), 2);
+
+    let panic_failure = report
+        .failures
+        .iter()
+        .find(|f| f.id == panicker)
+        .expect("panic failure recorded");
+    assert_eq!(panic_failure.kind, FailureKind::Panic);
+    // Satellite: the panic detail names the originating simulated
+    // process and the virtual time it died at (SimError Display).
+    assert!(
+        panic_failure.detail.contains("rank-0-F17") && panic_failure.detail.contains("panicked at"),
+        "panic detail lacks process/virtual-time context: {:?}",
+        panic_failure.detail
+    );
+
+    let deadlock_failure = report
+        .failures
+        .iter()
+        .find(|f| f.id == deadlocker)
+        .expect("deadlock failure recorded");
+    assert_eq!(deadlock_failure.kind, FailureKind::Deadlock);
+    assert!(
+        deadlock_failure.detail.contains("simulation deadlocked at"),
+        "deadlock detail: {:?}",
+        deadlock_failure.detail
+    );
+
+    // Survivors carry correct data: spot-check one engine-driven and
+    // one closed-form experiment against a direct run.
+    for probe in [ExperimentId::F8PcieBandwidth, ExperimentId::T1Table] {
+        let swept = report
+            .runs
+            .iter()
+            .find(|r| r.id == probe)
+            .expect("survivor present");
+        let direct = run_experiment(probe);
+        assert_eq!(swept.data.rows, direct.rows, "{probe:?} data corrupted");
+    }
+
+    // The timing summary narrates the partial outcome.
+    let summary = report.timing_summary();
+    assert!(summary.contains("FAILED F17 [panic]"), "summary: {summary}");
+    assert!(summary.contains("FAILED F21 [deadlock]"));
+    assert!(summary.contains("2 experiment(s) FAILED; 25 completed"));
+
+    // And the machine-readable record lists both.
+    let json = report.to_bench_json();
+    assert!(json.contains("\"code\": \"F17\"") && json.contains("\"kind\": \"panic\""));
+    assert!(json.contains("\"kind\": \"deadlock\""));
+}
+
+/// The watchdog abandons a hung experiment and classifies it as a
+/// timeout; the rest of the selection still completes.
+#[test]
+fn watchdog_times_out_hung_experiment() {
+    let _g = serialize();
+    let hanger = ExperimentId::F5Latency;
+    force_failure_for_tests(hanger, Some(ForcedFailure::Hang));
+    std::env::set_var("MAIA_EXPERIMENT_TIMEOUT_S", "1");
+
+    let report = run_experiments_parallel(&[hanger, ExperimentId::T1Table], 2);
+
+    std::env::remove_var("MAIA_EXPERIMENT_TIMEOUT_S");
+    force_failure_for_tests(hanger, None);
+
+    assert_eq!(report.runs.len(), 1);
+    assert_eq!(report.runs[0].id, ExperimentId::T1Table);
+    assert_eq!(report.failures.len(), 1);
+    let f = &report.failures[0];
+    assert_eq!(f.id, hanger);
+    assert_eq!(f.kind, FailureKind::Timeout);
+    assert!(
+        f.detail.contains("watchdog"),
+        "timeout detail should mention the watchdog: {:?}",
+        f.detail
+    );
+    assert!(f.wall.as_secs_f64() >= 1.0, "watchdog fired early");
+}
+
+/// A clean sweep reports no failures and `run_one` still works.
+#[test]
+fn clean_sweep_has_no_failures() {
+    let _g = serialize();
+    let report = run_experiments_parallel(&[ExperimentId::T1Table, ExperimentId::F4Stream], 2);
+    assert_eq!(report.runs.len(), 2);
+    assert!(report.failures.is_empty());
+    assert!(!report.timing_summary().contains("FAILED"));
+}
