@@ -36,6 +36,14 @@ echo "== faults smoke: maia-bench faults --plan degraded-stack vs tests/golden/r
 ./target/release/maia-bench faults --plan degraded-stack --only F07,F08,F09,F18 --jobs 2 >"$tmp"
 diff -u tests/golden/resilience.md "$tmp"
 
+echo "== engine crosscheck: every F10-F14 cell computed by closed forms AND the DES"
+# Exit 1 here names the first cell where the fast path and the
+# discrete-event engine disagree — a model change landed in only one.
+./target/release/maia-bench crosscheck --jobs 2 >"$tmp" || {
+    cat "$tmp" >&2
+    exit 1
+}
+
 echo "== fail-soft gate: injected panic isolates one experiment, exit 1, partial report"
 set +e
 MAIA_FAULT_PANIC=F17 ./target/release/maia-bench run --only F17,T01 --jobs 2 >"$tmp" 2>/dev/null
@@ -50,17 +58,17 @@ grep -q '^## T1 ' "$tmp" || {
     exit 1
 }
 
-echo "== parallel speedup (informational; asserted only with >= 4 cores)"
-t_start=$(date +%s%N)
-./target/release/maia-bench run --all --jobs 1 >/dev/null 2>&1
-t_serial=$(( $(date +%s%N) - t_start ))
-t_start=$(date +%s%N)
-./target/release/maia-bench run --all --jobs 4 >/dev/null 2>&1
-t_par=$(( $(date +%s%N) - t_start ))
-echo "   jobs=1: $((t_serial / 1000000)) ms   jobs=4: $((t_par / 1000000)) ms"
+# The PR 1 jobs=1-vs-jobs=4 speedup assertion retired with the closed-form
+# collective fast paths: the sweep no longer contains enough parallelizable
+# DES work for a 2x ratio. The wall budget below is the stronger gate — it
+# fails if the fast paths stop engaging (a DES F13+F14 alone costs ~4 s).
+echo "== sweep wall budget (informational; asserted only with >= 4 cores)"
+./target/release/maia-bench run --all --jobs 2 --bench-json "$tmp" >/dev/null 2>&1
+wall_s=$(grep -o '"wall_s": [0-9.]*' "$tmp" | head -n 1 | awk '{print $2}')
+echo "   run --all --jobs 2: ${wall_s} s (budget 0.5 s; recorded: BENCH_sweep.json)"
 cores=$(nproc)
-if [ "$cores" -ge 4 ] && [ $((t_serial)) -lt $((2 * t_par)) ]; then
-    echo "FAIL: expected >= 2x speedup at --jobs 4 on $cores cores" >&2
+if [ "$cores" -ge 4 ] && ! awk -v w="$wall_s" 'BEGIN { exit !(w < 0.5) }'; then
+    echo "FAIL: sweep wall ${wall_s} s exceeds the 0.5 s budget on $cores cores" >&2
     exit 1
 fi
 

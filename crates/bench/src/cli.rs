@@ -16,6 +16,7 @@ use maia_core::{
     check_sweep, faults, run_selection, telemetry, ConformanceReport, ExperimentSelection,
     SweepReport,
 };
+use maia_mpi::fastpath::EngineMode;
 
 /// Output format for experiment tables and reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,10 @@ pub struct CommonArgs {
     pub out: Option<PathBuf>,
     /// Worker threads.
     pub jobs: usize,
+    /// Engine for the collective benchmarks: `auto` (default) takes the
+    /// closed-form fast path when eligible, `des` forces the
+    /// discrete-event engine, `fast` forces the closed forms.
+    pub engine: EngineMode,
 }
 
 /// Accumulator for the shared flags; each subcommand folds its argv
@@ -88,6 +93,7 @@ struct CommonParser {
     format: Option<Format>,
     out: Option<PathBuf>,
     jobs: Option<usize>,
+    engine: Option<EngineMode>,
 }
 
 impl CommonParser {
@@ -117,6 +123,7 @@ impl CommonParser {
                         .ok_or("--jobs requires a positive integer")?,
                 );
             }
+            "--engine" => self.engine = Some(EngineMode::parse(&value("--engine")?)?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -131,6 +138,7 @@ impl CommonParser {
             format: self.format.unwrap_or(Format::Md),
             out: self.out,
             jobs: self.jobs.unwrap_or_else(default_jobs),
+            engine: self.engine.unwrap_or(EngineMode::Auto),
         })
     }
 }
@@ -174,6 +182,16 @@ pub struct FaultsOptions {
     pub plan: String,
 }
 
+/// Parsed `crosscheck` subcommand (no experiment selection: the scope
+/// is exactly the figures with closed-form fast paths, F10–F14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrosscheckOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Write the report here instead of stdout.
+    pub out: Option<PathBuf>,
+}
+
 /// One parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -185,6 +203,8 @@ pub enum Command {
     Profile(ProfileOptions),
     /// `maia-bench faults ...`
     Faults(FaultsOptions),
+    /// `maia-bench crosscheck ...`
+    Crosscheck(CrosscheckOptions),
     /// `maia-bench list`
     List,
     /// `maia-bench help` (or no arguments).
@@ -201,6 +221,7 @@ USAGE:
     maia-bench check   [COMMON] [--metrics md|json]
     maia-bench profile [COMMON] [--trace PATH] [--metrics md|json]
     maia-bench faults  [COMMON] --plan NAME|FILE
+    maia-bench crosscheck [--jobs N] [--out PATH]
     maia-bench list
     maia-bench help
 
@@ -211,6 +232,11 @@ COMMON OPTIONS (shared by run, check, profile and faults):
     --out PATH         run: directory, one file per experiment; check/profile:
                        write the report to this file instead of stdout
     --jobs N           Worker threads (default: available cores)
+    --engine MODE      auto (default), des or fast. The collective figures
+                       (F10-F14) normally take an exact closed-form fast path;
+                       des forces every cell through the discrete-event engine
+                       (for debugging), fast forces the closed forms even when
+                       a fault plan or probe would otherwise demand the DES
 
 run:
     --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
@@ -237,6 +263,11 @@ faults:
     Runs the selection twice — nominal, then with the plan's deterministic
     faults armed — and reports per-experiment deltas, injected model time
     and mode switches. Same plan + seed + --jobs => bit-identical report.
+
+crosscheck:
+    Computes every F10-F14 cell twice — once on the discrete-event engine,
+    once through the closed-form fast paths — and compares the formatted
+    tables cell by cell. Exits 0 on an exact match, 1 on any mismatch.
 
 EXIT CODES (shared by every subcommand):
     0  success: every experiment completed (check: and all predicates
@@ -369,6 +400,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let plan = plan.ok_or("faults requires --plan NAME|FILE")?;
             Ok(Command::Faults(FaultsOptions { common, plan }))
         }
+        Some("crosscheck") => {
+            let mut jobs = None;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--jobs" => {
+                        jobs = Some(
+                            value("--jobs")?
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or("--jobs requires a positive integer")?,
+                        );
+                    }
+                    "--out" => out = Some(PathBuf::from(value("--out")?)),
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            Ok(Command::Crosscheck(CrosscheckOptions {
+                jobs: jobs.unwrap_or_else(default_jobs),
+                out,
+            }))
+        }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -413,6 +472,7 @@ pub struct RunOutcome {
 
 /// Run the sweep and render the tables in request order.
 pub fn execute_run(opts: &RunOptions) -> Result<RunOutcome, String> {
+    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
     if opts.metrics.is_some() {
         telemetry::enable();
     }
@@ -466,6 +526,7 @@ pub struct CheckOutcome {
 
 /// Run the conformance oracle over the selected experiments.
 pub fn execute_check(opts: &CheckOptions) -> Result<CheckOutcome, String> {
+    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
     if opts.metrics.is_some() {
         telemetry::enable();
     }
@@ -502,6 +563,7 @@ pub struct ProfileOutcome {
 
 /// Run the selection with instrumentation enabled and build the profile.
 pub fn execute_profile(opts: &ProfileOptions) -> Result<ProfileOutcome, String> {
+    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
     telemetry::enable();
     let report = run_selection(&opts.common.selection, opts.common.jobs);
     let profile = telemetry::collect(&report);
@@ -530,6 +592,7 @@ pub struct FaultsOutcome {
 
 /// Run the nominal-vs-degraded resilience comparison.
 pub fn execute_faults(opts: &FaultsOptions) -> Result<FaultsOutcome, String> {
+    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
     let plan = resolve_plan(&opts.plan)?;
     let report = faults::run_resilience(&plan, &opts.common.selection, opts.common.jobs);
     let rendered = match opts.common.format {
@@ -543,6 +606,27 @@ pub fn execute_faults(opts: &FaultsOptions) -> Result<FaultsOutcome, String> {
         rendered
     };
     Ok(FaultsOutcome { payload, report })
+}
+
+/// Result of `crosscheck`.
+pub struct CrosscheckOutcome {
+    /// Rendered report, or the written file path with `--out`.
+    pub payload: String,
+    /// The raw report (exit code: nonzero on any cell mismatch).
+    pub report: maia_core::CrosscheckReport,
+}
+
+/// Compute F10–F14 on both engines and diff the formatted tables.
+pub fn execute_crosscheck(opts: &CrosscheckOptions) -> Result<CrosscheckOutcome, String> {
+    let report = maia_core::run_crosscheck(opts.jobs);
+    let rendered = report.to_markdown();
+    let payload = if let Some(path) = &opts.out {
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        format!("{}\n", path.display())
+    } else {
+        rendered
+    };
+    Ok(CrosscheckOutcome { payload, report })
 }
 
 fn render_metrics(profile: &maia_core::ProfileReport, fmt: Format) -> String {
@@ -630,6 +714,16 @@ pub fn main_with_args(args: &[String]) -> i32 {
             Ok(out) => {
                 print!("{}", out.payload);
                 i32::from(out.report.has_failures())
+            }
+            Err(e) => {
+                eprintln!("maia-bench: {e}");
+                1
+            }
+        },
+        Ok(Command::Crosscheck(opts)) => match execute_crosscheck(&opts) {
+            Ok(out) => {
+                print!("{}", out.payload);
+                i32::from(!out.report.is_match())
             }
             Err(e) => {
                 eprintln!("maia-bench: {e}");
@@ -729,15 +823,52 @@ mod tests {
             vec!["profile", "--format", "csv"],
             vec!["profile", "--metrics", "csv"],
             vec!["profile", "--wat"],
+            vec!["run", "--engine", "warp"],
+            vec!["run", "--engine"], // missing value
             vec!["faults"],                         // --plan is mandatory
             vec!["faults", "--plan"],               // missing value
             vec!["faults", "--plan", "x", "--format", "csv"],
             vec!["faults", "--plan", "x", "--trace", "t.json"], // profile-only
+            vec!["crosscheck", "--only", "F10"], // fixed F10-F14 scope
+            vec!["crosscheck", "--jobs", "0"],
+            vec!["crosscheck", "--engine", "des"], // both engines always run
             vec!["frobnicate"],
         ] {
             let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(parse(&owned).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn engine_flag_parses_on_every_sweep_subcommand() {
+        for sub in ["run", "check", "profile"] {
+            let engine = match parse_ok(&[sub, "--engine", "des"]) {
+                Command::Run(o) => o.common.engine,
+                Command::Check(o) => o.common.engine,
+                Command::Profile(o) => o.common.engine,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(engine, EngineMode::Des, "{sub}");
+        }
+        let Command::Run(o) = parse_ok(&["run", "--engine", "fastpath"]) else {
+            panic!("expected run");
+        };
+        assert_eq!(o.common.engine, EngineMode::Fast);
+        let Command::Run(o) = parse_ok(&["run", "--jobs", "2"]) else {
+            panic!("expected run");
+        };
+        assert_eq!(o.common.engine, EngineMode::Auto);
+    }
+
+    #[test]
+    fn crosscheck_parses_jobs_and_out() {
+        let Command::Crosscheck(o) =
+            parse_ok(&["crosscheck", "--jobs", "3", "--out", "/tmp/x.md"])
+        else {
+            panic!("expected crosscheck");
+        };
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.out, Some(PathBuf::from("/tmp/x.md")));
     }
 
     #[test]
@@ -796,6 +927,7 @@ mod tests {
                 format: Format::Csv,
                 out: Some(dir.clone()),
                 jobs: 2,
+                engine: EngineMode::Auto,
             },
             bench_json: Some(dir.join("BENCH.json")),
             metrics: None,

@@ -22,6 +22,12 @@ const KIB: f64 = 1024.0;
 const MIB: f64 = 1024.0 * 1024.0;
 const HUGE: f64 = 1e18;
 
+/// Minimum multiplicative step the Figure 13 algorithm switch must
+/// produce between 2 KiB and 4 KiB, in every configuration. Shared with
+/// the `fig13_shows_the_jump` unit test in [`crate::experiments::coll`]
+/// so the two margins cannot drift apart.
+pub const F13_JUMP_FACTOR: f64 = 1.9;
+
 /// The oracle predicates for one experiment. Every artifact has a
 /// non-empty checklist; the suite averages well over three predicates per
 /// experiment (asserted in `tests/tests/paper_shapes.rs`).
@@ -243,9 +249,9 @@ fn fig13() -> Vec<Check> {
     let cfg = |c: &'static str| series("size", "time us").only("config", c);
     vec![
         // The algorithm-switch jump between 2 KiB and 4 KiB, every world.
-        step_up_across(cfg("host-16"), 3.0 * KIB, 1.9),
-        step_up_across(cfg("phi-59 (1t/c)"), 3.0 * KIB, 1.9),
-        step_up_across(cfg("phi-236 (4t/c)"), 3.0 * KIB, 1.9),
+        step_up_across(cfg("host-16"), 3.0 * KIB, F13_JUMP_FACTOR),
+        step_up_across(cfg("phi-59 (1t/c)"), 3.0 * KIB, F13_JUMP_FACTOR),
+        step_up_across(cfg("phi-236 (4t/c)"), 3.0 * KIB, F13_JUMP_FACTOR),
         ratio_band(cfg("phi-59 (1t/c)"), cfg("host-16"), 2.6, 17.1),
         ratio_band(cfg("phi-236 (4t/c)"), cfg("host-16"), 68.0, 1146.0),
     ]

@@ -1,7 +1,7 @@
 //! The experiment registry: one entry per table/figure of the paper.
 
 mod app_figs;
-mod coll;
+pub mod coll;
 pub mod conformance;
 mod micro;
 mod npb_figs;

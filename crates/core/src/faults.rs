@@ -253,6 +253,13 @@ fn parse_fault(s: &str) -> Result<Fault, String> {
 /// Serializes fault activations process-wide: the injection hooks are
 /// global, so two overlapping activations would interleave their state.
 static GATE: Mutex<()> = Mutex::new(());
+
+/// Lock the process-wide activation gate for a non-fault caller. The
+/// engine cross-check flips the global engine mode, which must not
+/// interleave with an armed fault plan (or another cross-check).
+pub(crate) fn lock_gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
 /// Monotone activation counter: part of the cache epoch so repeated
 /// activations of the *same* plan recompute their degraded sub-models
 /// (keeping injected-time totals identical per activation).
@@ -288,6 +295,7 @@ impl Drop for ActiveFaults {
         maia_mem::faults::clear();
         maia_mpi::faults::clear();
         maia_modes::faults::clear();
+        maia_mpi::fastpath::set_fault_override(false);
     }
 }
 
@@ -297,6 +305,11 @@ impl Drop for ActiveFaults {
 /// Activations are serialized process-wide (the hooks are global).
 pub fn activate(plan: &FaultPlan) -> ActiveFaults {
     let gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    // Some faults arm hooks the MPI layer cannot see (dead cards in
+    // `maia_modes`, GDDR banks in `maia_mem`), so engine selection
+    // cannot infer "a plan is active" from its own crates' flags alone.
+    // Force the discrete-event engine for the whole activation.
+    maia_mpi::fastpath::set_fault_override(true);
     INJECTED_PS.store(0, Ordering::Relaxed);
     mode_switches_slot()
         .lock()

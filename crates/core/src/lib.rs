@@ -17,6 +17,7 @@
 //! are thin wrappers over this API.
 
 pub mod cache;
+pub mod crosscheck;
 pub mod executor;
 pub mod experiments;
 pub mod faults;
@@ -29,6 +30,7 @@ pub use executor::{
     run_experiments_parallel, run_selection, ExperimentFailure, ExperimentRun, FailureKind,
     SweepReport,
 };
+pub use crosscheck::{run_crosscheck, CrosscheckReport};
 pub use faults::{run_resilience, Fault, FaultPlan, ForcedFailure, ResilienceReport};
 pub use experiments::{
     all_experiments, run_experiment, ExperimentId, ExperimentMeta, ExperimentSelection,

@@ -78,8 +78,19 @@ pub fn update_gain(path: NodePath, bytes: u64) -> f64 {
         / pcie_bandwidth(SoftwareStack::PreUpdate, path, bytes).bandwidth_gbs
 }
 
-/// Figure 10: ring `MPI_Send/Recv` — per-pair bandwidth.
+/// Figure 10: ring `MPI_Send/Recv` — per-pair bandwidth. Dispatches to
+/// the closed-form fast path when [`crate::fastpath::selected_engine`]
+/// allows it (no fault plan armed, no probe attached), else the DES.
 pub fn ring_sendrecv(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
+    match crate::fastpath::selected_engine() {
+        crate::fastpath::SelectedEngine::Fast => crate::fastpath::ring_sendrecv(device, ranks, bytes),
+        crate::fastpath::SelectedEngine::Des => ring_sendrecv_des(device, ranks, bytes),
+    }
+}
+
+/// Figure 10 on the discrete-event engine, unconditionally — the
+/// correctness oracle the fast path is cross-checked against.
+pub fn ring_sendrecv_des(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
     let spec = WorldSpec::all_on(device, ranks);
     let iters = 4u32;
     let res = MpiWorld::run(&spec, move |rank| {
@@ -100,7 +111,23 @@ pub fn ring_sendrecv(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
 }
 
 /// Figures 11–13: completion time in seconds of one collective.
+/// Engine-dispatched like [`ring_sendrecv`].
 pub fn collective_time(
+    device: Device,
+    ranks: usize,
+    bytes: u64,
+    op: CollectiveOp,
+) -> f64 {
+    match crate::fastpath::selected_engine() {
+        crate::fastpath::SelectedEngine::Fast => {
+            crate::fastpath::collective_time(device, ranks, bytes, op)
+        }
+        crate::fastpath::SelectedEngine::Des => collective_time_des(device, ranks, bytes, op),
+    }
+}
+
+/// Figures 11–13 on the discrete-event engine, unconditionally.
+pub fn collective_time_des(
     device: Device,
     ranks: usize,
     bytes: u64,
@@ -132,6 +159,13 @@ pub enum CollectiveOp {
 pub fn alltoall_time(device: Device, ranks: usize, bytes: u64) -> Result<f64, OomError> {
     MemoryBudget::check_alltoall(device, ranks, bytes)?;
     Ok(collective_time(device, ranks, bytes, CollectiveOp::Alltoall))
+}
+
+/// Figure 14 on the discrete-event engine, unconditionally (same memory
+/// gate as [`alltoall_time`]).
+pub fn alltoall_time_des(device: Device, ranks: usize, bytes: u64) -> Result<f64, OomError> {
+    MemoryBudget::check_alltoall(device, ranks, bytes)?;
+    Ok(collective_time_des(device, ranks, bytes, CollectiveOp::Alltoall))
 }
 
 #[cfg(test)]

@@ -1,0 +1,353 @@
+//! Closed-form fast paths for the intra-device collective benchmarks.
+//!
+//! The discrete-event runs behind Figures 10–14 are *symmetric*: every
+//! rank of an `all_on` world executes the same algorithm over one
+//! transport regime, so the engine's replay reduces to per-rank clock
+//! recurrences (a `recv` returns at `max(own clock, message ready)`;
+//! `send` advances the sender by the full message time). This module
+//! evaluates those recurrences directly in integer picoseconds — the
+//! same arithmetic the engine performs — so its results are *exactly*
+//! equal to the DES, bit for bit, not merely approximately.
+//!
+//! The fast path is an optimization, never a semantic change:
+//!
+//! * with a fault plan armed, a probe/trace consumer attached, or an
+//!   explicit [`EngineMode::Des`] override, [`selected_engine`] yields
+//!   to the full DES so `maia-bench profile` / `maia-bench faults`
+//!   output is unchanged;
+//! * the DES remains the correctness oracle: the `crosscheck` suite
+//!   computes every figure cell both ways and compares formatted output.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+use maia_arch::Device;
+use maia_sim::SimDuration;
+
+use crate::bench::{CollectiveOp, P2pPoint};
+use crate::coll::ALLGATHER_BRUCK_MAX;
+use crate::memory::{MemoryBudget, OomError};
+use crate::placement::{RankPlacement, WorldSpec};
+use crate::transport::TransportModel;
+
+/// Which engine the benchmark drivers should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Fast path when eligible (no faults, no probe), DES otherwise.
+    Auto,
+    /// Always the discrete-event engine (debugging / oracle runs).
+    Des,
+    /// Always the closed forms (cross-check runs; ignores fault plans).
+    Fast,
+}
+
+impl EngineMode {
+    /// Parse a `--engine` flag value.
+    pub fn parse(text: &str) -> Result<EngineMode, String> {
+        match text {
+            "auto" => Ok(EngineMode::Auto),
+            "des" => Ok(EngineMode::Des),
+            "fast" | "fastpath" => Ok(EngineMode::Fast),
+            other => Err(format!("unknown engine '{other}' (expected auto, des or fast)")),
+        }
+    }
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0); // 0 = Auto, 1 = Des, 2 = Fast
+static FORCE_DES: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide engine mode (default [`EngineMode::Auto`]).
+pub fn set_engine_mode(mode: EngineMode) {
+    let v = match mode {
+        EngineMode::Auto => 0,
+        EngineMode::Des => 1,
+        EngineMode::Fast => 2,
+    };
+    MODE.store(v, Ordering::Release);
+}
+
+/// The currently installed engine mode.
+pub fn engine_mode() -> EngineMode {
+    match MODE.load(Ordering::Acquire) {
+        1 => EngineMode::Des,
+        2 => EngineMode::Fast,
+        _ => EngineMode::Auto,
+    }
+}
+
+/// Arm or disarm the fault override. Fault-plan activation layers above
+/// this crate (maia-core) may hook subsystems the MPI layer cannot see
+/// (memory budgets, execution modes), so they force the DES for the
+/// whole armed window rather than relying on per-subsystem detection.
+pub fn set_fault_override(active: bool) {
+    FORCE_DES.store(active, Ordering::Release);
+}
+
+/// The engine a benchmark call will actually run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectedEngine {
+    Des,
+    Fast,
+}
+
+/// Resolve [`engine_mode`] against the live fault/probe state.
+pub fn selected_engine() -> SelectedEngine {
+    match engine_mode() {
+        EngineMode::Des => SelectedEngine::Des,
+        EngineMode::Fast => SelectedEngine::Fast,
+        EngineMode::Auto => {
+            let des_needed = FORCE_DES.load(Ordering::Acquire)
+                || crate::faults::any_active()
+                || maia_interconnect::faults::any_active()
+                || maia_sim::factory_installed();
+            if des_needed {
+                SelectedEngine::Des
+            } else {
+                SelectedEngine::Fast
+            }
+        }
+    }
+}
+
+/// The transport model exactly as `MpiWorld::run` builds it for an
+/// `all_on` world (same stack, same per-device oversubscription levels).
+fn model_for(device: Device, ranks: usize) -> TransportModel {
+    let spec = WorldSpec::all_on(device, ranks);
+    spec.validate();
+    TransportModel::new(
+        spec.stack,
+        [
+            spec.threads_per_core(Device::Host),
+            spec.threads_per_core(Device::Phi0),
+            spec.threads_per_core(Device::Phi1),
+        ],
+    )
+}
+
+/// Intra-device message time in picoseconds (the engine's native unit).
+fn msg_ps(t: &TransportModel, device: Device, bytes: u64) -> u64 {
+    let place = RankPlacement::on(device);
+    t.message_time(place, place, bytes).as_ps()
+}
+
+/// Figure 10 closed form: 4 lockstep sendrecv iterations, one full
+/// message time each. Mirrors `bench::ring_sendrecv`'s derived metrics.
+pub fn ring_sendrecv(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
+    let t = model_for(device, ranks);
+    let iters = 4u32;
+    let end = SimDuration::from_ps(msg_ps(&t, device, bytes) * u64::from(iters));
+    let time_s = end.as_secs_f64() / iters as f64;
+    P2pPoint {
+        bytes,
+        time_s,
+        bandwidth_gbs: bytes as f64 / time_s / 1e9,
+    }
+}
+
+/// Figures 11–13 closed form: completion time in seconds of one
+/// collective, exactly equal to the DES end time.
+pub fn collective_time(device: Device, ranks: usize, bytes: u64, op: CollectiveOp) -> f64 {
+    let t = model_for(device, ranks);
+    let end_ps = match op {
+        CollectiveOp::Bcast => bcast_end_ps(&t, device, ranks, bytes),
+        CollectiveOp::Allreduce => allreduce_end_ps(&t, device, ranks, bytes),
+        CollectiveOp::Allgather => allgather_end_ps(&t, device, ranks, bytes),
+        CollectiveOp::Alltoall => alltoall_end_ps(&t, device, ranks, bytes),
+    };
+    SimDuration::from_ps(end_ps).as_secs_f64()
+}
+
+/// Figure 14 closed form, with the same memory gate as the DES driver.
+pub fn alltoall_time(device: Device, ranks: usize, bytes: u64) -> Result<f64, OomError> {
+    MemoryBudget::check_alltoall(device, ranks, bytes)?;
+    Ok(collective_time(device, ranks, bytes, CollectiveOp::Alltoall))
+}
+
+/// Binomial-tree bcast (root 0, so vrank == rank): replay the tree.
+/// `recv[u]` is the instant u's parent message lands; a parent's sends
+/// advance its own clock by one message time each, in descending-mask
+/// order, and every child index exceeds its parent's, so a single
+/// ascending pass resolves the whole recurrence.
+fn bcast_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    if p == 1 {
+        return 0;
+    }
+    let m = msg_ps(t, device, bytes);
+    let mut recv = vec![0u64; p];
+    let mut end = 0u64;
+    for u in 0..p {
+        let start_mask = if u == 0 {
+            p.next_power_of_two() >> 1
+        } else {
+            lowest_set_bit(u) >> 1
+        };
+        let mut clock = recv[u];
+        let mut mask = start_mask;
+        while mask > 0 {
+            if u + mask < p {
+                clock += m;
+                recv[u + mask] = clock;
+            }
+            mask >>= 1;
+        }
+        end = end.max(clock);
+    }
+    end
+}
+
+/// Recursive-doubling allreduce with the MPICH fold/unfold for
+/// non-power-of-two worlds. Each pairwise exchange costs both partners
+/// `max(clock_a, clock_b) + message + reduce`.
+fn allreduce_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    if p == 1 {
+        return 0;
+    }
+    let m = msg_ps(t, device, bytes);
+    let r = t.reduce_time(device, bytes).as_ps();
+    let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - pof2;
+    let mut clock = vec![0u64; p];
+
+    // Fold: even ranks below 2*rem send to their odd neighbour, which
+    // receives (waiting out the wire time) and applies the operator.
+    for me in 0..2 * rem {
+        if me % 2 == 0 {
+            clock[me] += m;
+        } else {
+            clock[me] = clock[me].max(clock[me - 1]) + r;
+        }
+    }
+
+    // Doubling rounds over the power-of-two subgroup.
+    let real = |nr: usize| if nr < rem { nr * 2 + 1 } else { nr + rem };
+    let mut mask = 1usize;
+    while mask < pof2 {
+        let snapshot = clock.clone();
+        for nr in 0..pof2 {
+            let a = real(nr);
+            let b = real(nr ^ mask);
+            clock[a] = snapshot[a].max(snapshot[b]) + m + r;
+        }
+        mask <<= 1;
+    }
+
+    // Unfold: odd partners return the result to the retired evens.
+    for me in (1..2 * rem).step_by(2) {
+        clock[me] += m;
+    }
+    for me in (0..2 * rem).step_by(2) {
+        clock[me] = clock[me].max(clock[me + 1]);
+    }
+    clock.into_iter().max().expect("non-empty world")
+}
+
+/// Allgather: Bruck below the switch point (lockstep rounds shipping
+/// `min(dist, p-dist)` blocks), ring above (p−1 lockstep rounds).
+fn allgather_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    if p == 1 {
+        return 0;
+    }
+    if bytes <= ALLGATHER_BRUCK_MAX {
+        let mut end = 0u64;
+        let mut dist = 1usize;
+        while dist < p {
+            let blocks = dist.min(p - dist) as u64;
+            end += msg_ps(t, device, blocks * bytes);
+            dist <<= 1;
+        }
+        end
+    } else {
+        (p as u64 - 1) * msg_ps(t, device, bytes)
+    }
+}
+
+/// Pairwise-exchange alltoall: p−1 lockstep rounds, each paying the
+/// contention-scaled message time. The scale factor round-trips through
+/// f64 seconds exactly as `send_with_factor` does, so the rounding to
+/// picoseconds is identical.
+fn alltoall_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    if p == 1 {
+        return 0;
+    }
+    let contention = if device.is_phi() {
+        1.0 + 0.008 * p as f64
+    } else {
+        1.0 + 0.002 * p as f64
+    };
+    let base = SimDuration::from_ps(msg_ps(t, device, bytes));
+    let per_round = SimDuration::from_secs_f64(base.as_secs_f64() * contention).as_ps();
+    (p as u64 - 1) * per_round
+}
+
+fn lowest_set_bit(u: usize) -> usize {
+    u & u.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    /// The in-crate sanity net: closed forms equal the DES bit-for-bit
+    /// on a spread of world sizes, including non-powers of two (the
+    /// full F10–F14 grid lives in the cross-crate equivalence suite).
+    #[test]
+    fn closed_forms_match_des_exactly() {
+        for (device, ranks) in [
+            (Device::Host, 2),
+            (Device::Host, 5),
+            (Device::Host, 16),
+            (Device::Phi0, 3),
+            (Device::Phi0, 59),
+        ] {
+            for bytes in [64u64, 2 * 1024, 4 * 1024, 64 * 1024] {
+                let fast = ring_sendrecv(device, ranks, bytes);
+                let des = bench::ring_sendrecv_des(device, ranks, bytes);
+                assert_eq!(fast, des, "ring {device:?} p={ranks} b={bytes}");
+                for op in [
+                    CollectiveOp::Bcast,
+                    CollectiveOp::Allreduce,
+                    CollectiveOp::Allgather,
+                    CollectiveOp::Alltoall,
+                ] {
+                    let fast = collective_time(device, ranks, bytes, op);
+                    let des = bench::collective_time_des(device, ranks, bytes, op);
+                    assert_eq!(
+                        fast.to_bits(),
+                        des.to_bits(),
+                        "{op:?} {device:?} p={ranks} b={bytes}: fast {fast} vs des {des}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_worlds_cost_nothing() {
+        for op in [
+            CollectiveOp::Bcast,
+            CollectiveOp::Allreduce,
+            CollectiveOp::Allgather,
+            CollectiveOp::Alltoall,
+        ] {
+            assert_eq!(collective_time(Device::Host, 1, 4096, op), 0.0);
+        }
+    }
+
+    #[test]
+    fn oom_gate_matches_des_driver() {
+        assert_eq!(
+            alltoall_time(Device::Phi0, 236, 8 * 1024),
+            bench::alltoall_time_des(Device::Phi0, 236, 8 * 1024)
+        );
+        assert!(alltoall_time(Device::Phi0, 236, 4 * 1024).is_ok());
+    }
+
+    #[test]
+    fn mode_parse_round_trips() {
+        assert_eq!(EngineMode::parse("auto"), Ok(EngineMode::Auto));
+        assert_eq!(EngineMode::parse("des"), Ok(EngineMode::Des));
+        assert_eq!(EngineMode::parse("fast"), Ok(EngineMode::Fast));
+        assert_eq!(EngineMode::parse("fastpath"), Ok(EngineMode::Fast));
+        assert!(EngineMode::parse("warp").is_err());
+    }
+}

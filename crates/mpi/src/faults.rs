@@ -87,6 +87,13 @@ pub fn set_injected_time_observer(obs: Option<InjectedTimeObserver>) {
     *observer_slot().write().unwrap_or_else(std::sync::PoisonError::into_inner) = obs;
 }
 
+/// Whether any MPI-layer fault (straggler or link) is currently armed —
+/// one relaxed load; used by the engine-selection logic to keep the
+/// analytic fast path off whenever faulted timing is in play.
+pub fn any_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
 /// Disarm every MPI fault and drop the observer.
 pub fn clear() {
     with_config(|c| *c = Config::default());

@@ -29,6 +29,7 @@
 
 pub mod bench;
 pub mod coll;
+pub mod fastpath;
 pub mod faults;
 pub mod memory;
 pub mod placement;

@@ -15,7 +15,6 @@ use parking_lot::Mutex;
 use crate::engine::{ProcCtx, ProcessId};
 
 struct Inner<T> {
-    name: String,
     queue: VecDeque<T>,
     /// Processes parked in `recv`, in arrival order.
     waiters: VecDeque<ProcessId>,
@@ -25,12 +24,16 @@ struct Inner<T> {
 ///
 /// Cloning is cheap and shares the underlying queue.
 pub struct SimChannel<T> {
+    /// Immutable after construction, so it lives outside the mutex:
+    /// reading it never takes the queue lock or allocates.
+    name: Arc<str>,
     inner: Arc<Mutex<Inner<T>>>,
 }
 
 impl<T> Clone for SimChannel<T> {
     fn clone(&self) -> Self {
         SimChannel {
+            name: Arc::clone(&self.name),
             inner: Arc::clone(&self.inner),
         }
     }
@@ -40,17 +43,17 @@ impl<T: Send> SimChannel<T> {
     /// Create a named channel (the name appears in diagnostics).
     pub fn new(name: impl Into<String>) -> Self {
         SimChannel {
+            name: name.into().into(),
             inner: Arc::new(Mutex::new(Inner {
-                name: name.into(),
                 queue: VecDeque::new(),
                 waiters: VecDeque::new(),
             })),
         }
     }
 
-    /// Diagnostic name of this channel.
-    pub fn name(&self) -> String {
-        self.inner.lock().name.clone()
+    /// Diagnostic name of this channel, borrowed — no lock, no clone.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Enqueue a message and wake the longest-waiting receiver, if any.

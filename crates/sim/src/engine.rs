@@ -1,6 +1,8 @@
 //! The conservative process-oriented simulation engine.
 //!
-//! Each simulated process runs on its own OS thread, but the scheduler
+//! Each simulated process runs on its own OS thread (drawn from a reusable
+//! worker-thread pool, so short-lived worlds do not pay per-rank thread
+//! creation), but the scheduler
 //! enforces strict one-at-a-time execution: it resumes exactly one process,
 //! waits for that process to yield (by advancing time, blocking, or
 //! finishing), and only then picks the next event. Events are totally
@@ -18,7 +20,6 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
@@ -205,7 +206,6 @@ enum ProcState {
 struct ProcEntry {
     name: String,
     resume_tx: Sender<Resume>,
-    handle: Option<JoinHandle<()>>,
     state: ProcState,
 }
 
@@ -301,40 +301,39 @@ impl Engine {
         let yield_tx = self.yield_tx.clone();
         let shared = Arc::clone(&self.shared);
         let name: String = name.into();
-        let thread_name = name.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("sim-{thread_name}"))
-            .spawn(move || {
-                // Wait for the first resume before touching anything.
-                let Ok(Resume { now }) = resume_rx.recv() else { return };
-                let mut ctx = ProcCtx {
-                    pid,
-                    now,
-                    shared,
-                    yield_tx: yield_tx.clone(),
-                    resume_rx,
-                };
-                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-                match result {
-                    Ok(()) => {
-                        let _ = yield_tx.send(YieldMsg::Finished { pid });
-                    }
-                    Err(payload) => {
-                        if payload.downcast_ref::<EngineShutdown>().is_some() {
-                            // Quiet teardown; the scheduler is already gone
-                            // or no longer cares about this process.
-                            return;
-                        }
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                        let _ = yield_tx.send(YieldMsg::Panicked { pid, message });
-                    }
+        // The process body runs on a pooled worker thread (reused across
+        // engines); diagnostics identify processes by `ProcEntry::name`,
+        // never by OS thread name, so pooling is invisible to callers.
+        crate::pool::run_job(Box::new(move || {
+            // Wait for the first resume before touching anything.
+            let Ok(Resume { now }) = resume_rx.recv() else { return };
+            let mut ctx = ProcCtx {
+                pid,
+                now,
+                shared,
+                yield_tx: yield_tx.clone(),
+                resume_rx,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+            match result {
+                Ok(()) => {
+                    let _ = yield_tx.send(YieldMsg::Finished { pid });
                 }
-            })
-            .expect("failed to spawn simulation process thread");
+                Err(payload) => {
+                    if payload.downcast_ref::<EngineShutdown>().is_some() {
+                        // Quiet teardown; the scheduler is already gone
+                        // or no longer cares about this process.
+                        return;
+                    }
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    let _ = yield_tx.send(YieldMsg::Panicked { pid, message });
+                }
+            }
+        }));
 
         if let Some(p) = &self.probe {
             p.process_spawned(pid, &name);
@@ -343,7 +342,6 @@ impl Engine {
         self.procs.push(ProcEntry {
             name,
             resume_tx,
-            handle: Some(handle),
             state: ProcState::Queued,
         });
         pid
@@ -446,9 +444,8 @@ impl Engine {
                     if let Some(p) = &self.probe {
                         p.finished(now.as_ps(), pid);
                     }
-                    if let Some(h) = self.procs[pid.0].handle.take() {
-                        let _ = h.join();
-                    }
+                    // The worker that hosted this process returns itself
+                    // to the pool; there is no thread to join.
                 }
                 YieldMsg::Panicked { pid, message } => {
                     return Err(SimError::ProcessPanicked {
@@ -491,15 +488,11 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         // Dropping the resume senders makes any still-parked process unwind
-        // via the quiet EngineShutdown token; join them so no thread leaks.
+        // via the quiet EngineShutdown token; its pooled worker then parks
+        // itself for reuse, so nothing needs joining here.
         for p in &mut self.procs {
             let (dead_tx, _) = unbounded::<Resume>();
             p.resume_tx = dead_tx; // drop the real sender
-        }
-        for p in &mut self.procs {
-            if let Some(h) = p.handle.take() {
-                let _ = h.join();
-            }
         }
     }
 }

@@ -45,10 +45,11 @@
 
 pub mod channel;
 pub mod engine;
+mod pool;
 pub mod probe;
 pub mod resource;
 pub mod time;
 
 pub use engine::{Engine, ProcCtx, ProcessId, SimError, TraceKind, TraceRecord};
-pub use probe::{set_probe_factory, Probe};
+pub use probe::{factory_installed, set_probe_factory, Probe};
 pub use time::{SimDuration, SimTime};

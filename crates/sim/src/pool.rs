@@ -1,0 +1,99 @@
+//! A process-wide pool of reusable OS worker threads for simulated
+//! processes.
+//!
+//! [`Engine::spawn`](crate::Engine::spawn) used to create one fresh
+//! `std::thread` per simulated process, so a 236-rank collective world
+//! paid 236 thread creations — and a sweep over dozens of such worlds
+//! paid that over and over. The pool keeps finished workers parked on a
+//! private channel and hands the next process body to one of them, so
+//! the same OS threads are reused across engines.
+//!
+//! Determinism is unaffected: a job runs on exactly one dedicated worker
+//! for its entire life, and the engine's one-process-at-a-time handshake
+//! is unchanged. The pool only changes *which* OS thread hosts a process,
+//! never *when* it runs.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Idle workers, each represented by the sender half of its private job
+/// channel. A worker parks in `recv` on that channel; sending it a job
+/// wakes it. LIFO keeps recently-used (cache-warm) workers busiest.
+static IDLE: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+
+/// Cap on parked workers: a finishing worker beyond this exits instead
+/// of re-registering, bounding idle-thread memory after one huge world.
+const MAX_IDLE: usize = 512;
+
+/// Run `job` on a pooled worker thread, reusing an idle one if possible.
+pub(crate) fn run_job(mut job: Job) {
+    loop {
+        let idle = IDLE.lock().pop();
+        match idle {
+            Some(tx) => match tx.send(job) {
+                Ok(()) => return,
+                // The worker died between registering and receiving;
+                // recover the job and try the next idle worker.
+                Err(e) => job = e.0,
+            },
+            None => {
+                spawn_worker(job);
+                return;
+            }
+        }
+    }
+}
+
+fn spawn_worker(first: Job) {
+    std::thread::Builder::new()
+        .name("maia-sim-worker".to_string())
+        .spawn(move || {
+            let mut job = first;
+            loop {
+                job();
+                let (tx, rx) = unbounded::<Job>();
+                {
+                    let mut idle = IDLE.lock();
+                    if idle.len() >= MAX_IDLE {
+                        return;
+                    }
+                    idle.push(tx);
+                }
+                match rx.recv() {
+                    Ok(next) => job = next,
+                    Err(_) => return,
+                }
+            }
+        })
+        .expect("failed to spawn simulation worker thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::mpsc;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn sequential_jobs_reuse_worker_threads() {
+        let (tx, rx) = mpsc::channel::<ThreadId>();
+        let mut seen = HashSet::new();
+        for _ in 0..50 {
+            let tx = tx.clone();
+            run_job(Box::new(move || {
+                tx.send(std::thread::current().id()).unwrap();
+            }));
+            seen.insert(rx.recv().unwrap());
+            // Give the worker a moment to park itself back on the idle
+            // stack before the next job is submitted.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Without reuse this would be 50 distinct threads. Concurrent
+        // tests may interleave their own workers, so only assert that
+        // *some* reuse happened rather than an exact count.
+        assert!(seen.len() < 50, "no worker reuse: {} distinct threads", seen.len());
+    }
+}

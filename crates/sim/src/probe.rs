@@ -66,6 +66,15 @@ pub fn set_probe_factory(factory: Option<Arc<ProbeFactory>>) {
     *slot = factory;
 }
 
+/// Whether a probe factory is currently installed process-wide.
+///
+/// Engine-selection layers use this to detect an attached trace/metrics
+/// consumer: with a factory installed, analytic fast paths must yield to
+/// the full discrete-event engine so the probe sees every event.
+pub fn factory_installed() -> bool {
+    FACTORY_SET.load(Ordering::Acquire)
+}
+
 /// The probe for a construction happening on the current thread, if any.
 pub fn probe_for_current_thread() -> Option<Arc<dyn Probe>> {
     if !FACTORY_SET.load(Ordering::Acquire) {

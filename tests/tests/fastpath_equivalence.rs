@@ -1,0 +1,176 @@
+//! DES-vs-fastpath equivalence suite: the closed forms in
+//! `maia_mpi::fastpath` must equal the discrete-event engine *bit for
+//! bit* on every cell of Figures 10–14 (OOM rows included), the engine
+//! selection must yield to the DES whenever a fault plan is armed, and
+//! the degraded-stack resilience golden must survive the fast path's
+//! introduction byte for byte.
+//!
+//! Tests that flip process-wide state (engine mode, fault hooks, the
+//! memo cache) serialize on one mutex; the pure grid comparisons don't
+//! need it.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use maia_arch::Device;
+use maia_core::experiments::coll::{cached_alltoall_time, cached_collective_time};
+use maia_core::faults::{activate, run_resilience, FaultPlan};
+use maia_core::{cache, run_experiments_parallel, ExperimentId, ExperimentSelection};
+use maia_mpi::bench::{
+    alltoall_time_des, collective_time_des, ring_sendrecv_des, CollectiveOp,
+};
+use maia_mpi::fastpath::{self, selected_engine, SelectedEngine};
+
+static SER: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The three configurations of the collective figures (core `coll.rs`).
+const CONFIGS: [(Device, usize); 3] = [
+    (Device::Host, 16),
+    (Device::Phi0, 59),
+    (Device::Phi0, 236),
+];
+
+/// Every Figure 10–14 cell, computed both ways: exact f64 equality
+/// (stronger than the formatted-output equality the goldens need) on
+/// the full grid, including the 236-rank worlds on both sides of the
+/// Bruck→ring Allgather switch.
+#[test]
+fn every_figure_cell_matches_the_des_bit_for_bit() {
+    for (device, ranks) in CONFIGS {
+        // F10 + F11/F12 share the three-size grid.
+        for bytes in [64u64, 4 * 1024, 256 * 1024] {
+            let fast = fastpath::ring_sendrecv(device, ranks, bytes);
+            let des = ring_sendrecv_des(device, ranks, bytes);
+            assert_eq!(fast, des, "F10 {device:?} p={ranks} b={bytes}");
+            for op in [CollectiveOp::Bcast, CollectiveOp::Allreduce] {
+                assert_cell_eq(device, ranks, bytes, op);
+            }
+        }
+        // F13: the extended grid around the 2 KiB algorithm switch.
+        for bytes in [64u64, 1024, 2 * 1024, 4 * 1024, 8 * 1024, 64 * 1024] {
+            assert_cell_eq(device, ranks, bytes, CollectiveOp::Allgather);
+        }
+        // F14: alltoall with the memory gate — Ok and OOM rows both.
+        for bytes in [64u64, 1024, 4 * 1024, 8 * 1024, 64 * 1024] {
+            let fast = fastpath::alltoall_time(device, ranks, bytes);
+            let des = alltoall_time_des(device, ranks, bytes);
+            match (&fast, &des) {
+                (Ok(f), Ok(d)) => assert_eq!(
+                    f.to_bits(),
+                    d.to_bits(),
+                    "F14 {device:?} p={ranks} b={bytes}: fast {f} vs des {d}"
+                ),
+                _ => assert_eq!(fast, des, "F14 OOM {device:?} p={ranks} b={bytes}"),
+            }
+        }
+    }
+    // The paper's OOM rows really are exercised above.
+    assert!(fastpath::alltoall_time(Device::Phi0, 236, 8 * 1024).is_err());
+}
+
+fn assert_cell_eq(device: Device, ranks: usize, bytes: u64, op: CollectiveOp) {
+    let fast = fastpath::collective_time(device, ranks, bytes, op);
+    let des = collective_time_des(device, ranks, bytes, op);
+    assert_eq!(
+        fast.to_bits(),
+        des.to_bits(),
+        "{op:?} {device:?} p={ranks} b={bytes}: fast {fast} vs des {des}"
+    );
+    // And the rendered cell the figures pin, for good measure.
+    assert_eq!(format!("{:.1}", fast * 1e6), format!("{:.1}", des * 1e6));
+}
+
+/// The crosscheck oracle — the same comparison the `maia-bench
+/// crosscheck` CI gate runs — reports a full-grid match.
+#[test]
+fn crosscheck_oracle_reports_a_match() {
+    let _g = serialize();
+    let report = maia_core::run_crosscheck(2);
+    assert!(report.is_match(), "{}", report.to_markdown());
+    assert_eq!(report.experiments.len(), 5);
+    let total_cells: usize = report.experiments.iter().map(|e| e.cells).sum();
+    // 9 + 9 + 9 + 18 + 15 rows x 3 columns.
+    assert_eq!(total_cells, 180);
+}
+
+/// An armed fault plan forces the DES — even one (degraded-stack) whose
+/// hooks partly live in crates the MPI layer cannot see — and disarming
+/// restores the fast path.
+#[test]
+fn armed_fault_plan_forces_the_des() {
+    let _g = serialize();
+    assert_eq!(selected_engine(), SelectedEngine::Fast);
+    let plan = FaultPlan::named("degraded-stack").expect("canned plan");
+    let guard = activate(&plan);
+    assert_eq!(selected_engine(), SelectedEngine::Des);
+    drop(guard);
+    assert_eq!(selected_engine(), SelectedEngine::Fast);
+}
+
+/// The PR 5 resilience golden survives the fast path byte for byte:
+/// same plan, same selection, same jobs as the ci.sh gate.
+#[test]
+fn degraded_stack_resilience_golden_is_byte_identical() {
+    let _g = serialize();
+    let plan = FaultPlan::named("degraded-stack").expect("canned plan");
+    let selection = ExperimentSelection::Ids(vec![
+        ExperimentId::F7PcieLatency,
+        ExperimentId::F8PcieBandwidth,
+        ExperimentId::F9UpdateGain,
+        ExperimentId::F18OffloadBw,
+    ]);
+    let report = run_resilience(&plan, &selection, 2);
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/golden/resilience.md"
+    ))
+    .expect("golden file");
+    assert_eq!(report.to_markdown(), golden);
+}
+
+/// Satellite regression test for the split memo-key namespaces: both
+/// Alltoall entry points now share one key, so a sweep over F10–F14
+/// computes every collective world exactly once — 60 world keys plus
+/// the 5 per-experiment keys, no duplicates.
+#[test]
+fn collective_worlds_compute_once_per_sweep() {
+    let _g = serialize();
+    cache::clear();
+    let ids = [
+        ExperimentId::F10SendRecv,
+        ExperimentId::F11Bcast,
+        ExperimentId::F12Allreduce,
+        ExperimentId::F13Allgather,
+        ExperimentId::F14Alltoall,
+    ];
+    let report = run_experiments_parallel(&ids, 2);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let after_sweep = cache::stats();
+    // F10: 9 ring worlds. F11/F12: 9 collective worlds each.
+    // F13: 18 allgather worlds. F14: 15 alltoall points (OOM included).
+    // Plus one `experiment/{code}` key per figure.
+    assert_eq!(after_sweep.misses, 60 + 5, "a world computed twice");
+
+    // A second identical sweep is answered entirely from cache.
+    let again = run_experiments_parallel(&ids, 2);
+    assert!(again.failures.is_empty());
+    assert_eq!(cache::stats().misses, after_sweep.misses);
+}
+
+/// The bug itself: mixing the two Alltoall entry points used to split
+/// across `alltoall/...` and `coll/.../Alltoall` namespaces and simulate
+/// the same world twice. One key now serves both.
+#[test]
+fn alltoall_entry_points_share_one_memo_entry() {
+    let _g = serialize();
+    cache::clear();
+    let t1 = cached_collective_time(Device::Phi0, 59, 1024, CollectiveOp::Alltoall);
+    let t2 = cached_alltoall_time(Device::Phi0, 59, 1024).expect("fits in memory");
+    assert_eq!(t1.to_bits(), t2.to_bits());
+    let stats = cache::stats();
+    assert_eq!(stats.misses, 1, "the two entry points split the cache");
+    assert_eq!(stats.hits, 1);
+}
