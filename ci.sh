@@ -36,13 +36,40 @@ echo "== faults smoke: maia-bench faults --plan degraded-stack vs tests/golden/r
 ./target/release/maia-bench faults --plan degraded-stack --only F07,F08,F09,F18 --jobs 2 >"$tmp"
 diff -u tests/golden/resilience.md "$tmp"
 
-echo "== engine crosscheck: every F10-F14 cell computed by closed forms AND the DES"
+echo "== engine crosscheck: every F10-F14 and C01-C02 cell, closed forms vs DES"
 # Exit 1 here names the first cell where the fast path and the
 # discrete-event engine disagree — a model change landed in only one.
-./target/release/maia-bench crosscheck --jobs 2 >"$tmp" || {
+# The cluster cells run their DES side partitioned (2 event wheels).
+./target/release/maia-bench crosscheck --jobs 2 --partitions 2 >"$tmp" || {
     cat "$tmp" >&2
     exit 1
 }
+
+echo "== partitioned cluster DES: sharded runs vs tests/golden/cluster_sweep.md"
+# The partitioned engine must be a pure function of the simulated world:
+# single-wheel output pins the golden, and (with enough cores to make
+# multi-wheel runs meaningful) a 4-wheel run must be byte-identical.
+./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 1 >"$tmp" 2>/dev/null
+diff -u tests/golden/cluster_sweep.md "$tmp"
+cores=$(nproc)
+if [ "$cores" -ge 4 ]; then
+    ./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 4 >"$tmp" 2>/dev/null
+    diff -u tests/golden/cluster_sweep.md "$tmp"
+    echo "== partition speedup: 4 wheels must beat 1 by >1.5x on $cores cores"
+    p1_start=$(date +%s.%N)
+    ./target/release/maia-bench run --only C01,C02 --jobs 1 --engine des --partitions 1 >/dev/null 2>&1
+    p1_s=$(awk -v a="$p1_start" -v b="$(date +%s.%N)" 'BEGIN { printf "%.3f", b - a }')
+    p4_start=$(date +%s.%N)
+    ./target/release/maia-bench run --only C01,C02 --jobs 1 --engine des --partitions 4 >/dev/null 2>&1
+    p4_s=$(awk -v a="$p4_start" -v b="$(date +%s.%N)" 'BEGIN { printf "%.3f", b - a }')
+    echo "   1 wheel: ${p1_s} s; 4 wheels: ${p4_s} s"
+    if ! awk -v a="$p1_s" -v b="$p4_s" 'BEGIN { exit !(a > 1.5 * b) }'; then
+        echo "FAIL: 4-wheel cluster sweep (${p4_s} s) not >1.5x faster than 1 wheel (${p1_s} s)" >&2
+        exit 1
+    fi
+else
+    echo "   ($cores core(s): 4-wheel identity and speedup gates need >= 4 cores; skipped)"
+fi
 
 echo "== fail-soft gate: injected panic isolates one experiment, exit 1, partial report"
 set +e

@@ -82,6 +82,9 @@ pub struct CommonArgs {
     /// closed-form fast path when eligible, `des` forces the
     /// discrete-event engine, `fast` forces the closed forms.
     pub engine: EngineMode,
+    /// Event wheels for partitioned (cluster) DES runs. Results are
+    /// bit-identical at every count; >1 trades wall-clock for threads.
+    pub partitions: usize,
 }
 
 /// Accumulator for the shared flags; each subcommand folds its argv
@@ -94,6 +97,7 @@ struct CommonParser {
     out: Option<PathBuf>,
     jobs: Option<usize>,
     engine: Option<EngineMode>,
+    partitions: Option<usize>,
 }
 
 impl CommonParser {
@@ -124,6 +128,15 @@ impl CommonParser {
                 );
             }
             "--engine" => self.engine = Some(EngineMode::parse(&value("--engine")?)?),
+            "--partitions" => {
+                self.partitions = Some(
+                    value("--partitions")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--partitions requires a positive integer")?,
+                );
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -139,6 +152,7 @@ impl CommonParser {
             out: self.out,
             jobs: self.jobs.unwrap_or_else(default_jobs),
             engine: self.engine.unwrap_or(EngineMode::Auto),
+            partitions: self.partitions.unwrap_or(1),
         })
     }
 }
@@ -188,6 +202,8 @@ pub struct FaultsOptions {
 pub struct CrosscheckOptions {
     /// Worker threads.
     pub jobs: usize,
+    /// Event wheels for the partitioned (cluster) DES cells.
+    pub partitions: usize,
     /// Write the report here instead of stdout.
     pub out: Option<PathBuf>,
 }
@@ -221,7 +237,7 @@ USAGE:
     maia-bench check   [COMMON] [--metrics md|json]
     maia-bench profile [COMMON] [--trace PATH] [--metrics md|json]
     maia-bench faults  [COMMON] --plan NAME|FILE
-    maia-bench crosscheck [--jobs N] [--out PATH]
+    maia-bench crosscheck [--jobs N] [--partitions N] [--out PATH]
     maia-bench list
     maia-bench help
 
@@ -237,6 +253,11 @@ COMMON OPTIONS (shared by run, check, profile and faults):
                        des forces every cell through the discrete-event engine
                        (for debugging), fast forces the closed forms even when
                        a fault plan or probe would otherwise demand the DES
+    --partitions N     Event wheels for the partitioned cluster DES (C01,
+                       C02): one pooled worker thread per wheel, domains
+                       folded round-robin. Figure data and virtual-side
+                       telemetry are bit-identical at every N (default 1);
+                       N > 1 only changes wall-clock time
 
 run:
     --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
@@ -265,9 +286,11 @@ faults:
     and mode switches. Same plan + seed + --jobs => bit-identical report.
 
 crosscheck:
-    Computes every F10-F14 cell twice — once on the discrete-event engine,
-    once through the closed-form fast paths — and compares the formatted
-    tables cell by cell. Exits 0 on an exact match, 1 on any mismatch.
+    Computes every F10-F14 and C01-C02 cell twice — once on the
+    discrete-event engine (the cluster cells run partitioned at
+    --partitions N), once through the closed-form fast paths — and
+    compares the formatted tables cell by cell. Exits 0 on an exact
+    match, 1 on any mismatch.
 
 EXIT CODES (shared by every subcommand):
     0  success: every experiment completed (check: and all predicates
@@ -402,6 +425,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         Some("crosscheck") => {
             let mut jobs = None;
+            let mut partitions = None;
             let mut out = None;
             while let Some(arg) = it.next() {
                 let mut value = |name: &str| {
@@ -419,12 +443,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                                 .ok_or("--jobs requires a positive integer")?,
                         );
                     }
+                    "--partitions" => {
+                        partitions = Some(
+                            value("--partitions")?
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or("--partitions requires a positive integer")?,
+                        );
+                    }
                     "--out" => out = Some(PathBuf::from(value("--out")?)),
                     other => return Err(format!("unknown argument '{other}'")),
                 }
             }
             Ok(Command::Crosscheck(CrosscheckOptions {
                 jobs: jobs.unwrap_or_else(default_jobs),
+                partitions: partitions.unwrap_or(1),
                 out,
             }))
         }
@@ -472,7 +506,7 @@ pub struct RunOutcome {
 
 /// Run the sweep and render the tables in request order.
 pub fn execute_run(opts: &RunOptions) -> Result<RunOutcome, String> {
-    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
+    apply_process_globals(&opts.common);
     if opts.metrics.is_some() {
         telemetry::enable();
     }
@@ -526,7 +560,7 @@ pub struct CheckOutcome {
 
 /// Run the conformance oracle over the selected experiments.
 pub fn execute_check(opts: &CheckOptions) -> Result<CheckOutcome, String> {
-    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
+    apply_process_globals(&opts.common);
     if opts.metrics.is_some() {
         telemetry::enable();
     }
@@ -563,7 +597,7 @@ pub struct ProfileOutcome {
 
 /// Run the selection with instrumentation enabled and build the profile.
 pub fn execute_profile(opts: &ProfileOptions) -> Result<ProfileOutcome, String> {
-    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
+    apply_process_globals(&opts.common);
     telemetry::enable();
     let report = run_selection(&opts.common.selection, opts.common.jobs);
     let profile = telemetry::collect(&report);
@@ -592,7 +626,7 @@ pub struct FaultsOutcome {
 
 /// Run the nominal-vs-degraded resilience comparison.
 pub fn execute_faults(opts: &FaultsOptions) -> Result<FaultsOutcome, String> {
-    maia_mpi::fastpath::set_engine_mode(opts.common.engine);
+    apply_process_globals(&opts.common);
     let plan = resolve_plan(&opts.plan)?;
     let report = faults::run_resilience(&plan, &opts.common.selection, opts.common.jobs);
     let rendered = match opts.common.format {
@@ -618,6 +652,7 @@ pub struct CrosscheckOutcome {
 
 /// Compute F10–F14 on both engines and diff the formatted tables.
 pub fn execute_crosscheck(opts: &CrosscheckOptions) -> Result<CrosscheckOutcome, String> {
+    maia_mpi::partition::set_partitions(opts.partitions);
     let report = maia_core::run_crosscheck(opts.jobs);
     let rendered = report.to_markdown();
     let payload = if let Some(path) = &opts.out {
@@ -627,6 +662,12 @@ pub fn execute_crosscheck(opts: &CrosscheckOptions) -> Result<CrosscheckOutcome,
         rendered
     };
     Ok(CrosscheckOutcome { payload, report })
+}
+
+/// Install the process-global knobs a subcommand's common flags carry.
+fn apply_process_globals(common: &CommonArgs) {
+    maia_mpi::fastpath::set_engine_mode(common.engine);
+    maia_mpi::partition::set_partitions(common.partitions);
 }
 
 fn render_metrics(profile: &maia_core::ProfileReport, fmt: Format) -> String {
@@ -825,6 +866,9 @@ mod tests {
             vec!["profile", "--wat"],
             vec!["run", "--engine", "warp"],
             vec!["run", "--engine"], // missing value
+            vec!["run", "--partitions", "0"],
+            vec!["check", "--partitions", "-1"],
+            vec!["crosscheck", "--partitions", "0"],
             vec!["faults"],                         // --plan is mandatory
             vec!["faults", "--plan"],               // missing value
             vec!["faults", "--plan", "x", "--format", "csv"],
@@ -868,7 +912,29 @@ mod tests {
             panic!("expected crosscheck");
         };
         assert_eq!(o.jobs, 3);
+        assert_eq!(o.partitions, 1);
         assert_eq!(o.out, Some(PathBuf::from("/tmp/x.md")));
+    }
+
+    #[test]
+    fn partitions_flag_parses_everywhere_and_defaults_to_one() {
+        for sub in ["run", "check", "profile"] {
+            let partitions = match parse_ok(&[sub, "--partitions", "4"]) {
+                Command::Run(o) => o.common.partitions,
+                Command::Check(o) => o.common.partitions,
+                Command::Profile(o) => o.common.partitions,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(partitions, 4, "{sub}");
+        }
+        let Command::Run(o) = parse_ok(&["run", "--jobs", "2"]) else {
+            panic!("expected run");
+        };
+        assert_eq!(o.common.partitions, 1);
+        let Command::Crosscheck(o) = parse_ok(&["crosscheck", "--partitions", "8"]) else {
+            panic!("expected crosscheck");
+        };
+        assert_eq!(o.partitions, 8);
     }
 
     #[test]
@@ -928,6 +994,7 @@ mod tests {
                 out: Some(dir.clone()),
                 jobs: 2,
                 engine: EngineMode::Auto,
+                partitions: 1,
             },
             bench_json: Some(dir.join("BENCH.json")),
             metrics: None,

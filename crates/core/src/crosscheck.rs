@@ -22,13 +22,18 @@ use crate::executor::{run_experiments_parallel, ExperimentFailure};
 use crate::experiments::ExperimentId;
 use crate::figdata::FigureData;
 
-/// The experiments whose cells have closed-form fast paths.
-pub const CROSSCHECK_IDS: [ExperimentId; 5] = [
+/// The experiments whose cells have closed-form fast paths. The cluster
+/// experiments run their DES side *partitioned* (at the process-global
+/// `maia_mpi::partition::partitions()` count), so the cross-check also
+/// pins closed form == partitioned DES.
+pub const CROSSCHECK_IDS: [ExperimentId; 7] = [
     ExperimentId::F10SendRecv,
     ExperimentId::F11Bcast,
     ExperimentId::F12Allreduce,
     ExperimentId::F13Allgather,
     ExperimentId::F14Alltoall,
+    ExperimentId::C1ClusterAllreduce,
+    ExperimentId::C2ClusterAlltoall,
 ];
 
 /// One experiment's DES-vs-fastpath cell comparison.
@@ -213,7 +218,7 @@ mod tests {
     #[test]
     fn crosscheck_covers_the_collective_figures() {
         let codes: Vec<&str> = CROSSCHECK_IDS.iter().map(|id| id.meta().code).collect();
-        assert_eq!(codes, ["F10", "F11", "F12", "F13", "F14"]);
+        assert_eq!(codes, ["F10", "F11", "F12", "F13", "F14", "C01", "C02"]);
     }
 
     #[test]

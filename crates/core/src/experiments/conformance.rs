@@ -61,6 +61,8 @@ pub fn checklist(id: ExperimentId) -> Vec<Check> {
         F27OffloadCost => fig27(),
         A1NpbMpiMeasured => a1(),
         A2OverflowHybrid => a2(),
+        C1ClusterAllreduce => c1(),
+        C2ClusterAlltoall => c2(),
     }
 }
 
@@ -670,6 +672,57 @@ fn a2() -> Vec<Check> {
                 ("phi0 x4", cell(&[("layout", "phi0 x4")], "wall ms")),
                 ("host x4", cell(&[("layout", "host x4")], "wall ms")),
             ],
+        ),
+    ]
+}
+
+fn c1() -> Vec<Check> {
+    let at_nodes = |n: &'static str| series("size", "time us").only("nodes", n);
+    let at_size = |s: &'static str| series("nodes", "time us").only("size", s);
+    vec![
+        // Bigger payloads and bigger clusters both cost more.
+        monotone_nondecreasing(at_nodes("2")),
+        monotone_nondecreasing(at_nodes("128")),
+        monotone_nondecreasing(at_size("64B")),
+        monotone_nondecreasing(at_size("64KiB")),
+        // Recursive doubling: 2 -> 128 nodes adds rounds logarithmically.
+        // Probed at 64B, where the inter-node stage isn't drowned by the
+        // (payload-scaled) intra-node phases: the full rack costs a bit
+        // more than 2 nodes, but never multiples.
+        scalar_ratio_band(
+            cell(&[("nodes", "128"), ("size", "64B")], "time us"),
+            cell(&[("nodes", "2"), ("size", "64B")], "time us"),
+            1.05,
+            2.0,
+        ),
+    ]
+}
+
+fn c2() -> Vec<Check> {
+    let at_nodes = |n: &'static str| series("size", "time us").only("nodes", n);
+    let at_size = |s: &'static str| series("nodes", "time us").only("size", s);
+    let full_rack = |sz: &'static str| cell(&[("nodes", "128"), ("size", sz)], "time us");
+    vec![
+        monotone_nondecreasing(at_nodes("2")),
+        monotone_nondecreasing(at_nodes("128")),
+        monotone_nondecreasing(at_size("64B")),
+        monotone_nondecreasing(at_size("64KiB")),
+        // Pairwise exchange pays p-1 contended rounds. Probed at 64B
+        // (the inter-node stage dominates there): the full rack costs
+        // multiples of 2 nodes — scaling far worse than Allreduce's
+        // log-round 1.0x-2.0x band over the same endpoints...
+        scalar_ratio_band(
+            full_rack("64B"),
+            cell(&[("nodes", "2"), ("size", "64B")], "time us"),
+            2.0,
+            50.0,
+        ),
+        // ...and 32 -> 128 nodes alone quadruples the rounds.
+        scalar_ratio_band(
+            full_rack("64B"),
+            cell(&[("nodes", "32"), ("size", "64B")], "time us"),
+            1.5,
+            10.0,
         ),
     ]
 }

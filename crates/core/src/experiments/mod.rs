@@ -1,6 +1,7 @@
 //! The experiment registry: one entry per table/figure of the paper.
 
 mod app_figs;
+pub mod cluster;
 pub mod coll;
 pub mod conformance;
 mod micro;
@@ -68,6 +69,11 @@ pub enum ExperimentId {
     /// Beyond-paper validation: hybrid OVERFLOW zones over the simulated
     /// fabric with communication/compute accounting.
     A2OverflowHybrid,
+    /// Beyond-paper extrapolation: cluster-wide MPI_Allreduce over the
+    /// partitioned multi-node DES (128 × (16 host + 2×60 Phi) ranks).
+    C1ClusterAllreduce,
+    /// Beyond-paper extrapolation: cluster-wide MPI_Alltoall, same world.
+    C2ClusterAlltoall,
 }
 
 /// All experiments in paper order.
@@ -101,6 +107,8 @@ pub fn all_experiments() -> Vec<ExperimentId> {
         F27OffloadCost,
         A1NpbMpiMeasured,
         A2OverflowHybrid,
+        C1ClusterAllreduce,
+        C2ClusterAlltoall,
     ]
 }
 
@@ -157,6 +165,8 @@ impl ExperimentId {
                 F27OffloadCost => ("F27", "Offload invocations and volume", 50, &[]),
                 A1NpbMpiMeasured => ("A01", "Distributed NPB kernels (measured)", 800, &[]),
                 A2OverflowHybrid => ("A02", "Hybrid OVERFLOW zones (measured)", 400, &[]),
+                C1ClusterAllreduce => ("C01", "Cluster MPI_Allreduce (partitioned DES)", 150, &[]),
+                C2ClusterAlltoall => ("C02", "Cluster MPI_Alltoall (partitioned DES)", 200, &[]),
             };
         ExperimentMeta {
             code,
@@ -175,7 +185,7 @@ impl ExperimentId {
     /// case.
     pub fn parse(text: &str) -> Option<ExperimentId> {
         let mut want = text.trim().to_ascii_uppercase().replace('-', "_");
-        for (long, short) in [("FIG", "F"), ("TABLE", "T"), ("APP", "A")] {
+        for (long, short) in [("FIG", "F"), ("TABLE", "T"), ("APP", "A"), ("CLUSTER", "C")] {
             if let Some(rest) = want.strip_prefix(long) {
                 let digits = rest.strip_prefix('_').unwrap_or(rest);
                 if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
@@ -280,6 +290,8 @@ pub fn run_experiment(id: ExperimentId) -> FigureData {
         F27OffloadCost => npb_figs::fig27_offload_cost(),
         A1NpbMpiMeasured => npb_figs::a1_npb_mpi_measured(),
         A2OverflowHybrid => app_figs::a2_overflow_hybrid(),
+        C1ClusterAllreduce => cluster::c1_cluster_allreduce(),
+        C2ClusterAlltoall => cluster::c2_cluster_alltoall(),
     }
 }
 
@@ -298,6 +310,9 @@ mod selection_tests {
             ("app_1", ExperimentId::A1NpbMpiMeasured),
             ("F04", ExperimentId::F4Stream),
             ("f4", ExperimentId::F4Stream),
+            ("C01", ExperimentId::C1ClusterAllreduce),
+            ("c2", ExperimentId::C2ClusterAlltoall),
+            ("cluster_1", ExperimentId::C1ClusterAllreduce),
         ] {
             assert_eq!(ExperimentId::parse(text), Some(want), "parsing {text:?}");
         }

@@ -104,6 +104,12 @@ pub fn paper_claims(id: ExperimentId) -> Vec<PaperClaim> {
         A2OverflowHybrid => &[
             "(beyond paper) validation: zone data crosses the simulated fabric; PCIe layouts show the communication dominance the paper describes for symmetric mode",
         ],
+        C1ClusterAllreduce => &[
+            "(beyond paper) extrapolation: hierarchical allreduce over the 128-node FDR fabric grows logarithmically in nodes; the partitioned DES agrees bit-for-bit with the closed form",
+        ],
+        C2ClusterAlltoall => &[
+            "(beyond paper) extrapolation: pairwise-exchange alltoall among node leaders grows linearly in nodes plus incast contention, scaling far worse than allreduce",
+        ],
     };
     texts.iter().map(|t| PaperClaim { claim: t }).collect()
 }

@@ -395,6 +395,33 @@ pub(crate) fn record_wall_span(name: &str, tid: u32, started: Instant, dur_s: f6
         });
 }
 
+/// Record one partitioned-DES run. The window and message totals are
+/// deterministic and partition-count-invariant (windows follow the
+/// global floor sequence; messages count cross-*domain* sends, not
+/// cross-wheel ones), so they land in the virtual-side counters the
+/// determinism battery pins. Per-wheel buckets — final virtual time,
+/// outbound messages, wall nanoseconds stalled at window barriers —
+/// legitimately vary with the wheel count and machine load, so they go
+/// to the wall side under their own category.
+pub fn record_partition_run(stats: &maia_sim::partition::PartitionRunStats) {
+    if !is_enabled() {
+        return;
+    }
+    count("partition.runs", 1);
+    count("partition.windows", stats.windows);
+    count("partition.messages", stats.messages);
+    let started = Instant::now();
+    for (wheel, w) in stats.wheels.iter().enumerate() {
+        record_wall_span(
+            &format!("partition/w{wheel}/end{}ps/out{}", w.end_ps, w.messages_out),
+            wheel as u32,
+            started,
+            w.stall_wall_ns as f64 / 1e9,
+            "wall-partition",
+        );
+    }
+}
+
 pub(crate) fn record_omp_region() {
     global().omp_regions.fetch_add(1, Ordering::Relaxed);
 }

@@ -121,7 +121,10 @@ pub fn collect(sweep: &SweepReport) -> ProfileReport {
     let mut experiments = Vec::new();
     for run in &sweep.runs {
         let code = run.id.meta().code;
-        let profile = match recorded.iter().find(|(c, _)| c == code) {
+        // Most recent sink wins: a code re-run under a fresh cache (the
+        // partition-determinism battery does this) registers a new scope
+        // per sweep, and the profile must describe the sweep at hand.
+        let profile = match recorded.iter().rfind(|(c, _)| c == code) {
             Some((_, sink)) => {
                 let s = lock_sink(sink);
                 let mut proc_vt: Vec<(String, u64)> =

@@ -153,6 +153,75 @@ pub enum CollectiveOp {
     Alltoall,
 }
 
+/// Cluster collective (multi-node allreduce/alltoall over the
+/// hierarchical node-leader model): completion time in seconds.
+/// Engine-dispatched like [`ring_sendrecv`]; the DES side runs
+/// partitioned across [`crate::partition::partitions`] event wheels.
+pub fn cluster_collective_time(nodes: usize, bytes: u64, op: CollectiveOp) -> f64 {
+    match crate::fastpath::selected_engine() {
+        crate::fastpath::SelectedEngine::Fast => {
+            crate::fastpath::cluster_collective_time(nodes, bytes, op)
+        }
+        crate::fastpath::SelectedEngine::Des => cluster_collective_time_des(nodes, bytes, op),
+    }
+}
+
+/// Cluster collective on the (partitioned) discrete-event engine,
+/// unconditionally — the oracle [`crate::fastpath::cluster_collective_time`]
+/// is cross-checked against. Discards the partition-run statistics.
+pub fn cluster_collective_time_des(nodes: usize, bytes: u64, op: CollectiveOp) -> f64 {
+    cluster_collective_run(nodes, bytes, op).0
+}
+
+/// Cluster collective on the DES with the partition-run statistics
+/// (window count, cross-wheel messages, per-wheel stall time) — the
+/// telemetry layer's entry point.
+pub fn cluster_collective_run(
+    nodes: usize,
+    bytes: u64,
+    op: CollectiveOp,
+) -> (f64, maia_sim::partition::PartitionRunStats) {
+    cluster_collective_run_with(nodes, bytes, op, crate::partition::partitions())
+}
+
+/// [`cluster_collective_run`] with an explicit wheel count instead of the
+/// process-global one.
+pub fn cluster_collective_run_with(
+    nodes: usize,
+    bytes: u64,
+    op: CollectiveOp,
+    partitions: usize,
+) -> (f64, maia_sim::partition::PartitionRunStats) {
+    // More wheels than domains would idle; clamp so `--partitions 8` on a
+    // 4-node world still folds every wheel onto real work.
+    let plan = crate::partition::PartitionPlan::by_node(partitions.min(nodes));
+    cluster_collective_run_plan(nodes, bytes, op, &plan)
+}
+
+/// [`cluster_collective_run`] under an explicit [`PartitionPlan`] — the
+/// determinism battery uses this to pin shuffled domain→wheel folds
+/// against the default round-robin one.
+pub fn cluster_collective_run_plan(
+    nodes: usize,
+    bytes: u64,
+    op: CollectiveOp,
+    plan: &crate::partition::PartitionPlan,
+) -> (f64, maia_sim::partition::PartitionRunStats) {
+    let spec = WorldSpec::node_leaders(nodes);
+    let (pre, post) = crate::fastpath::cluster_intra_phases(bytes, op);
+    let (res, stats) = MpiWorld::run_partitioned(&spec, plan, move |rank| {
+        rank.compute(pre);
+        match op {
+            CollectiveOp::Allreduce => rank.allreduce(bytes),
+            CollectiveOp::Alltoall => rank.alltoall(bytes),
+            other => panic!("cluster collectives cover allreduce and alltoall, not {other:?}"),
+        }
+        rank.compute(post);
+    })
+    .expect("cluster collective deadlocked");
+    (res.end_time.as_secs_f64(), stats)
+}
+
 /// Figure 14: alltoall with the paper's memory gate — returns `Err` when
 /// the buffers exceed the device budget (as happens past 4 KB at 236
 /// ranks).

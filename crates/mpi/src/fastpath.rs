@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 use maia_arch::Device;
+use maia_interconnect::SoftwareStack;
 use maia_sim::SimDuration;
 
 use crate::bench::{CollectiveOp, P2pPoint};
@@ -168,10 +169,16 @@ pub fn alltoall_time(device: Device, ranks: usize, bytes: u64) -> Result<f64, Oo
 /// order, and every child index exceeds its parent's, so a single
 /// ascending pass resolves the whole recurrence.
 fn bcast_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    bcast_end_from(msg_ps(t, device, bytes), p)
+}
+
+/// Core binomial-bcast recurrence over an abstract fabric where every
+/// message costs `m` picoseconds — reused by the cluster closed forms
+/// with `m` = one InfiniBand message.
+fn bcast_end_from(m: u64, p: usize) -> u64 {
     if p == 1 {
         return 0;
     }
-    let m = msg_ps(t, device, bytes);
     let mut recv = vec![0u64; p];
     let mut end = 0u64;
     for u in 0..p {
@@ -198,11 +205,19 @@ fn bcast_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64
 /// non-power-of-two worlds. Each pairwise exchange costs both partners
 /// `max(clock_a, clock_b) + message + reduce`.
 fn allreduce_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    allreduce_end_from(
+        msg_ps(t, device, bytes),
+        t.reduce_time(device, bytes).as_ps(),
+        p,
+    )
+}
+
+/// Core recursive-doubling recurrence: message cost `m`, combine cost
+/// `r`, both in picoseconds.
+fn allreduce_end_from(m: u64, r: u64, p: usize) -> u64 {
     if p == 1 {
         return 0;
     }
-    let m = msg_ps(t, device, bytes);
-    let r = t.reduce_time(device, bytes).as_ps();
     let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
     let rem = p - pof2;
     let mut clock = vec![0u64; p];
@@ -243,6 +258,12 @@ fn allreduce_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) ->
 /// Allgather: Bruck below the switch point (lockstep rounds shipping
 /// `min(dist, p-dist)` blocks), ring above (p−1 lockstep rounds).
 fn allgather_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> u64 {
+    allgather_end_from(|b| msg_ps(t, device, b), p, bytes)
+}
+
+/// Core allgather recurrence over an abstract fabric; `msg` prices a
+/// message of the given byte count in picoseconds.
+fn allgather_end_from(msg: impl Fn(u64) -> u64, p: usize, bytes: u64) -> u64 {
     if p == 1 {
         return 0;
     }
@@ -251,12 +272,12 @@ fn allgather_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) ->
         let mut dist = 1usize;
         while dist < p {
             let blocks = dist.min(p - dist) as u64;
-            end += msg_ps(t, device, blocks * bytes);
+            end += msg(blocks * bytes);
             dist <<= 1;
         }
         end
     } else {
-        (p as u64 - 1) * msg_ps(t, device, bytes)
+        (p as u64 - 1) * msg(bytes)
     }
 }
 
@@ -273,13 +294,121 @@ fn alltoall_end_ps(t: &TransportModel, device: Device, p: usize, bytes: u64) -> 
     } else {
         1.0 + 0.002 * p as f64
     };
-    let base = SimDuration::from_ps(msg_ps(t, device, bytes));
-    let per_round = SimDuration::from_secs_f64(base.as_secs_f64() * contention).as_ps();
-    (p as u64 - 1) * per_round
+    alltoall_end_from(scaled_ps(msg_ps(t, device, bytes), contention), p)
+}
+
+/// Core pairwise-exchange recurrence: p−1 rounds of `per_round_ps` each.
+fn alltoall_end_from(per_round_ps: u64, p: usize) -> u64 {
+    (p as u64).saturating_sub(1) * per_round_ps
+}
+
+/// Scale a picosecond cost by a contention factor, round-tripping
+/// through f64 seconds exactly as `Rank::send_with_factor` does, so the
+/// rounding back to picoseconds is identical.
+fn scaled_ps(base_ps: u64, factor: f64) -> u64 {
+    SimDuration::from_secs_f64(SimDuration::from_ps(base_ps).as_secs_f64() * factor).as_ps()
 }
 
 fn lowest_set_bit(u: usize) -> usize {
     u & u.wrapping_neg()
+}
+
+// ---------------------------------------------------------------------------
+// Cluster collectives (hierarchical node-leader model)
+// ---------------------------------------------------------------------------
+
+/// Host ranks per cluster node in the hierarchical collective model.
+pub const NODE_HOST_RANKS: usize = 16;
+/// Ranks per Phi card per cluster node (two cards per node).
+pub const NODE_PHI_RANKS: usize = 60;
+
+/// Intra-node (pre, post) phase durations of one hierarchical cluster
+/// collective over a `16 host + 2×60 Phi` symmetric node.
+///
+/// These closed forms are shared *verbatim* between this module's
+/// [`cluster_collective_time`] and the DES driver
+/// (`bench::cluster_collective_time_des`), which charges them as leader
+/// `compute()` durations — so closed-form-vs-DES equality hinges exactly
+/// on the inter-node recurrence, which the DES actually simulates.
+///
+/// * Allreduce pre: host ranks and each Phi card reduce internally
+///   (concurrently), card leaders ship partials to the node leader over
+///   DAPL, and the leader folds in the two card contributions.
+///   Post: the leader broadcasts — to its host ranks directly, and to
+///   the cards (one DAPL hop each, serialized at the leader) which then
+///   broadcast internally.
+/// * Alltoall pre/post: the leader gathers (scatters) the node's blocks,
+///   modeled as the slower of the host allgather and a Phi allgather
+///   plus the DAPL hop.
+pub fn cluster_intra_phases(bytes: u64, op: CollectiveOp) -> (SimDuration, SimDuration) {
+    let node = WorldSpec::symmetric(NODE_HOST_RANKS, NODE_PHI_RANKS, SoftwareStack::PostUpdate);
+    let t = TransportModel::new(
+        node.stack,
+        [
+            node.threads_per_core(Device::Host),
+            node.threads_per_core(Device::Phi0),
+            node.threads_per_core(Device::Phi1),
+        ],
+    );
+    let dapl = t
+        .message_time(RankPlacement::on(Device::Phi0), RankPlacement::on(Device::Host), bytes)
+        .as_ps();
+    match op {
+        CollectiveOp::Allreduce => {
+            let r_host = t.reduce_time(Device::Host, bytes).as_ps();
+            let host_ar = allreduce_end_from(msg_ps(&t, Device::Host, bytes), r_host, NODE_HOST_RANKS);
+            let phi_ar = allreduce_end_from(
+                msg_ps(&t, Device::Phi0, bytes),
+                t.reduce_time(Device::Phi0, bytes).as_ps(),
+                NODE_PHI_RANKS,
+            );
+            let pre = host_ar.max(phi_ar + dapl) + 2 * r_host;
+            let host_bc = bcast_end_from(msg_ps(&t, Device::Host, bytes), NODE_HOST_RANKS);
+            let phi_bc = bcast_end_from(msg_ps(&t, Device::Phi0, bytes), NODE_PHI_RANKS);
+            let post = host_bc.max(2 * dapl + phi_bc);
+            (SimDuration::from_ps(pre), SimDuration::from_ps(post))
+        }
+        CollectiveOp::Alltoall => {
+            let host_ag = allgather_end_from(|b| msg_ps(&t, Device::Host, b), NODE_HOST_RANKS, bytes);
+            let phi_ag = allgather_end_from(|b| msg_ps(&t, Device::Phi0, b), NODE_PHI_RANKS, bytes);
+            let phase = SimDuration::from_ps(host_ag.max(phi_ag + dapl));
+            (phase, phase)
+        }
+        other => panic!("cluster collectives cover allreduce and alltoall, not {other:?}"),
+    }
+}
+
+/// Cluster-collective closed form: intra-node pre phase, inter-node
+/// recurrence over InfiniBand among the node leaders, intra-node post
+/// phase. Bit-for-bit equal to the (partitioned) DES driver's end time.
+pub fn cluster_collective_time(nodes: usize, bytes: u64, op: CollectiveOp) -> f64 {
+    let spec = WorldSpec::node_leaders(nodes);
+    spec.validate();
+    let (pre, post) = cluster_intra_phases(bytes, op);
+    let inter = if nodes == 1 {
+        0
+    } else {
+        let t = TransportModel::new(
+            spec.stack,
+            [
+                spec.threads_per_core(Device::Host),
+                spec.threads_per_core(Device::Phi0),
+                spec.threads_per_core(Device::Phi1),
+            ],
+        );
+        let leader = |n: u32| RankPlacement { node: n, device: Device::Host };
+        let m = t.message_time(leader(0), leader(1), bytes).as_ps();
+        match op {
+            CollectiveOp::Allreduce => {
+                allreduce_end_from(m, t.reduce_time(Device::Host, bytes).as_ps(), nodes)
+            }
+            CollectiveOp::Alltoall => {
+                alltoall_end_from(scaled_ps(m, 1.0 + 0.002 * nodes as f64), nodes)
+            }
+            other => panic!("cluster collectives cover allreduce and alltoall, not {other:?}"),
+        }
+    };
+    SimDuration::from_ps(pre.as_ps() + inter + post.as_ps()).as_secs_f64()
 }
 
 #[cfg(test)]
@@ -318,6 +447,37 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The cluster closed forms equal the *partitioned* DES bit-for-bit,
+    /// at every wheel count — the inter-node recurrence is the only part
+    /// the DES re-derives, and the conservative windows don't perturb it.
+    #[test]
+    fn cluster_closed_forms_match_partitioned_des_exactly() {
+        for nodes in [1usize, 2, 5, 8] {
+            for bytes in [64u64, 64 * 1024] {
+                for op in [CollectiveOp::Allreduce, CollectiveOp::Alltoall] {
+                    let fast = cluster_collective_time(nodes, bytes, op);
+                    for wheels in [1usize, 2, 4] {
+                        let (des, _) = bench::cluster_collective_run_with(nodes, bytes, op, wheels);
+                        assert_eq!(
+                            fast.to_bits(),
+                            des.to_bits(),
+                            "cluster {op:?} n={nodes} b={bytes} w={wheels}: fast {fast} vs des {des}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_is_pure_intra_phases() {
+        for op in [CollectiveOp::Allreduce, CollectiveOp::Alltoall] {
+            let (pre, post) = cluster_intra_phases(4096, op);
+            let t = cluster_collective_time(1, 4096, op);
+            assert_eq!(t, (pre + post).as_secs_f64());
         }
     }
 

@@ -32,11 +32,13 @@ pub mod coll;
 pub mod fastpath;
 pub mod faults;
 pub mod memory;
+pub mod partition;
 pub mod placement;
 pub mod transport;
 pub mod world;
 
 pub use memory::{MemoryBudget, OomError};
+pub use partition::{DomainMap, PartitionPlan};
 pub use placement::{RankPlacement, WorldSpec};
 pub use transport::TransportModel;
 pub use coll::Group;

@@ -49,6 +49,21 @@ impl WorldSpec {
         WorldSpec { placements, stack }
     }
 
+    /// A cluster layout of node leaders: one Host rank per node, rank `i`
+    /// on node `i`. This is the hierarchical cluster-collective world —
+    /// each leader stands in for its whole node (16 host + 2×60 Phi
+    /// ranks), with the intra-node phases charged as closed-form compute
+    /// and only the inter-node InfiniBand traffic simulated rank-by-rank.
+    pub fn node_leaders(nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        WorldSpec {
+            placements: (0..nodes)
+                .map(|n| RankPlacement { node: n as u32, device: Device::Host })
+                .collect(),
+            stack: SoftwareStack::PostUpdate,
+        }
+    }
+
     /// World size.
     pub fn size(&self) -> usize {
         self.placements.len()
@@ -59,11 +74,31 @@ impl WorldSpec {
         self.placements.iter().filter(|p| p.device == device).count()
     }
 
+    /// Largest number of ranks resident on `device` of any single node —
+    /// the count that decides oversubscription and hardware-thread limits.
+    /// Cluster worlds replicate a node layout, so summing across nodes
+    /// would wrongly reject (and wrongly oversubscribe) valid layouts.
+    pub fn max_ranks_on_node(&self, device: Device) -> usize {
+        let mut per_node: Vec<usize> = Vec::new();
+        for p in &self.placements {
+            if p.device == device {
+                let n = p.node as usize;
+                if per_node.len() <= n {
+                    per_node.resize(n + 1, 0);
+                }
+                per_node[n] += 1;
+            }
+        }
+        per_node.into_iter().max().unwrap_or(0)
+    }
+
     /// Hardware threads per core implied by the rank count on a Phi card:
     /// 59 application cores, so 60 ranks occupy 2 threads on some cores
     /// and the MPI library behaves like the 2-threads/core regime.
+    /// Oversubscription is a per-node property: the busiest node's count
+    /// decides the regime for the device class.
     pub fn threads_per_core(&self, device: Device) -> u32 {
-        let ranks = self.ranks_on(device) as u32;
+        let ranks = self.max_ranks_on_node(device) as u32;
         if ranks == 0 {
             return 1;
         }
@@ -73,22 +108,23 @@ impl WorldSpec {
         }
     }
 
-    /// Validate: world non-empty and Phi rank counts within hardware
+    /// Validate: world non-empty and per-node rank counts within hardware
     /// thread limits.
     ///
     /// # Panics
-    /// Panics on an impossible layout (more ranks than hardware threads).
+    /// Panics on an impossible layout (more ranks than hardware threads
+    /// on some node's device).
     pub fn validate(&self) {
         assert!(!self.placements.is_empty(), "empty MPI world");
         for device in Device::ALL {
-            let ranks = self.ranks_on(device);
+            let ranks = self.max_ranks_on_node(device);
             let limit = match device {
                 Device::Host => 32,
                 _ => 236,
             };
             assert!(
                 ranks <= limit,
-                "{ranks} ranks exceed {device}'s hardware thread limit {limit}"
+                "{ranks} ranks exceed {device}'s per-node hardware thread limit {limit}"
             );
         }
     }
@@ -131,5 +167,28 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn overfull_phi_rejected() {
         WorldSpec::all_on(Device::Phi0, 237).validate();
+    }
+
+    #[test]
+    fn limits_and_oversubscription_are_per_node() {
+        // 128 nodes x 16 host ranks: 2048 ranks total, but only 16 per
+        // node — valid, and at the 1-thread/core regime.
+        let mut placements = Vec::new();
+        for node in 0..128u32 {
+            placements.extend((0..16).map(|_| RankPlacement { node, device: Device::Host }));
+        }
+        let w = WorldSpec { placements, stack: SoftwareStack::PostUpdate };
+        w.validate();
+        assert_eq!(w.max_ranks_on_node(Device::Host), 16);
+        assert_eq!(w.threads_per_core(Device::Host), 1);
+    }
+
+    #[test]
+    fn node_leaders_layout() {
+        let w = WorldSpec::node_leaders(128);
+        assert_eq!(w.size(), 128);
+        assert_eq!(w.placements[127].node, 127);
+        assert_eq!(w.max_ranks_on_node(Device::Host), 1);
+        w.validate();
     }
 }

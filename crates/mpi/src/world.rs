@@ -6,8 +6,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use maia_sim::channel::SimChannel;
-use maia_sim::{Engine, ProcCtx, SimDuration, SimError, SimTime};
+use maia_sim::partition::{
+    local_bus, register_global_process, Outbox, PartitionProbe, PartitionRunStats, ProbeBundle,
+    RemoteMsg, Wheel,
+};
+use maia_sim::{Engine, InjectCtx, ProcCtx, SimDuration, SimError, SimTime};
 
+use crate::partition::{lookahead, PartitionPlan};
 use crate::placement::{RankPlacement, WorldSpec};
 use crate::transport::TransportModel;
 
@@ -137,6 +142,7 @@ impl MpiWorld {
                     mailboxes,
                     unexpected: Vec::new(),
                     stats: RankStats::default(),
+                    partition: None,
                 };
                 program(&mut rank);
                 finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
@@ -158,6 +164,138 @@ impl MpiWorld {
             trace,
         ))
     }
+
+    /// Run `program` on every rank of `spec`'s world, sharded across
+    /// `plan.partitions` event wheels per `plan` (see
+    /// [`crate::partition`]). Ranks of one *domain* share a wheel and
+    /// exchange messages directly; cross-domain messages — at every
+    /// partition count, including one — go through the conservative
+    /// window-barrier protocol of `maia_sim::partition`, so the simulated
+    /// timeline, the `WorldResult`, and the virtual-side telemetry are
+    /// bit-identical no matter how many wheels carry the world.
+    pub fn run_partitioned<F>(
+        spec: &WorldSpec,
+        plan: &PartitionPlan,
+        program: F,
+    ) -> Result<(WorldResult, PartitionRunStats), SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        spec.validate();
+        let size = spec.size();
+        let partitions = plan.partitions;
+        let domain_of = Arc::new(plan.map.assign(spec));
+        let ndomains = domain_of.iter().copied().max().unwrap_or(0) + 1;
+        let fold = plan.resolve_fold(ndomains);
+        let wheel_of_rank: Arc<Vec<usize>> =
+            Arc::new(domain_of.iter().map(|&d| fold[d]).collect());
+
+        let tpc = [
+            spec.threads_per_core(maia_arch::Device::Host),
+            spec.threads_per_core(maia_arch::Device::Phi0),
+            spec.threads_per_core(maia_arch::Device::Phi1),
+        ];
+        let transport = Arc::new(TransportModel::new(spec.stack, tpc));
+        let window = lookahead(spec, &transport, &domain_of);
+        let placements = Arc::new(spec.placements.clone());
+        let mailboxes: Arc<Vec<SimChannel<Msg>>> = Arc::new(
+            (0..size)
+                .map(|r| SimChannel::new(format!("mbox-{r}")))
+                .collect(),
+        );
+        let finishes = Arc::new(Mutex::new(vec![0.0f64; size]));
+        let stats = Arc::new(Mutex::new(vec![RankStats::default(); size]));
+        let program = Arc::new(program);
+
+        // One experiment probe shared by every wheel; rank names are
+        // registered in global order up front so probe-side tables match
+        // a single-wheel run (per-wheel spawn notifications are
+        // suppressed by the PartitionProbe wrapper).
+        let probe = maia_sim::probe::probe_for_current_thread();
+        if let Some(p) = &probe {
+            for r in 0..size {
+                register_global_process(&**p, r, &format!("rank-{r}"));
+            }
+        }
+
+        let mut wheels: Vec<Wheel<Msg>> = Vec::with_capacity(partitions);
+        let mut wheel_probes = Vec::new();
+        for w in 0..partitions {
+            let local_ranks: Vec<usize> =
+                (0..size).filter(|&r| wheel_of_rank[r] == w).collect();
+            let mut engine = match &probe {
+                Some(p) => {
+                    let pp = Arc::new(PartitionProbe::new(Arc::clone(p), local_ranks.clone()));
+                    wheel_probes.push(Arc::clone(&pp));
+                    Engine::with_probe(Some(pp))
+                }
+                None => Engine::with_probe(None),
+            };
+            let outbox = Outbox::<Msg>::new(partitions);
+            for &rank_id in &local_ranks {
+                let transport = Arc::clone(&transport);
+                let placements = Arc::clone(&placements);
+                let mailboxes = Arc::clone(&mailboxes);
+                let finishes = Arc::clone(&finishes);
+                let stats = Arc::clone(&stats);
+                let program = Arc::clone(&program);
+                let domain_of = Arc::clone(&domain_of);
+                let wheel_of_rank = Arc::clone(&wheel_of_rank);
+                let outbox = outbox.clone();
+                engine.spawn(format!("rank-{rank_id}"), move |ctx| {
+                    let started = ctx.now();
+                    let my_domain = domain_of[rank_id];
+                    let mut rank = Rank {
+                        ctx,
+                        rank: rank_id,
+                        size,
+                        placements,
+                        transport,
+                        mailboxes,
+                        unexpected: Vec::new(),
+                        stats: RankStats::default(),
+                        partition: Some(PartitionIo {
+                            domain_of,
+                            wheel_of_rank,
+                            my_domain,
+                            outbox,
+                            seq: 0,
+                        }),
+                    };
+                    program(&mut rank);
+                    finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
+                    stats.lock()[rank_id] = rank.stats;
+                    rank.ctx.emit_span(&format!("rank-{rank_id}"), started);
+                });
+            }
+            let mailboxes = Arc::clone(&mailboxes);
+            wheels.push(Wheel {
+                engine,
+                outbox,
+                deliver: Arc::new(move |ictx: &InjectCtx<'_>, slot: usize, msg: Msg| {
+                    mailboxes[slot].send_injected(ictx, msg);
+                }),
+            });
+        }
+
+        let bundle = probe.map(|p| ProbeBundle { inner: p, wheel_probes });
+        let (end_time, run_stats) = maia_sim::partition::run_partitioned(
+            wheels,
+            local_bus::<Msg>(partitions),
+            window,
+            bundle,
+        )?;
+        let rank_finish_s = finishes.lock().clone();
+        let rank_stats = stats.lock().clone();
+        Ok((
+            WorldResult {
+                end_time,
+                rank_finish_s,
+                rank_stats,
+            },
+            run_stats,
+        ))
+    }
 }
 
 /// Handle given to each rank's program: MPI-like operations in virtual
@@ -172,6 +310,21 @@ pub struct Rank<'a> {
     /// Messages received but not yet matched (out-of-order arrivals).
     unexpected: Vec<Msg>,
     stats: RankStats,
+    /// Cross-domain routing state; `None` in unpartitioned worlds.
+    partition: Option<PartitionIo>,
+}
+
+/// Per-rank handle into the partition layer: decides whether a message
+/// crosses domains and, if so, stages it for the window-barrier exchange.
+struct PartitionIo {
+    /// Global rank → domain.
+    domain_of: Arc<Vec<usize>>,
+    /// Global rank → wheel (domain folded by the plan).
+    wheel_of_rank: Arc<Vec<usize>>,
+    my_domain: usize,
+    outbox: Outbox<Msg>,
+    /// Per-sender sequence for the layout-independent ordering key.
+    seq: u64,
 }
 
 impl Rank<'_> {
@@ -222,6 +375,35 @@ impl Rank<'_> {
             .message_time(self.placements[self.rank], self.placements[dest], bytes)
     }
 
+    /// Whether a message to `dest` crosses a partition-domain boundary
+    /// (always false in unpartitioned worlds).
+    fn is_cross_domain(&self, dest: usize) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|io| io.domain_of[dest] != io.my_domain)
+    }
+
+    /// Stage a cross-domain message for the window-barrier exchange.
+    /// Recorded at send *start*: `msg.ready` already carries the fully
+    /// costed arrival, which is at least one lookahead in the future.
+    fn route_remote(&mut self, dest: usize, msg: Msg) {
+        let io = self
+            .partition
+            .as_mut()
+            .expect("cross-domain send without partition state");
+        let order = (self.rank as u64, io.seq);
+        io.seq += 1;
+        io.outbox.send(
+            io.wheel_of_rank[dest],
+            RemoteMsg {
+                arrival: msg.ready,
+                dest_slot: dest,
+                order,
+                payload: msg,
+            },
+        );
+    }
+
     /// Blocking send (`MPI_Send`): pays the full transport cost, then the
     /// message becomes available to the receiver.
     ///
@@ -233,17 +415,22 @@ impl Rank<'_> {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         let cost = self.message_cost(dest, bytes);
-        self.comm_advance(cost);
-        self.mailboxes[dest].send(
-            self.ctx,
-            Msg {
-                src: self.rank,
-                tag,
-                bytes,
-                data: None,
-                ready: self.ctx.now(),
-            },
-        );
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            bytes,
+            data: None,
+            ready: self.ctx.now() + cost,
+        };
+        if self.is_cross_domain(dest) {
+            // Record at send start; the receiver still sees the message
+            // only at `ready`, exactly as on the direct path below.
+            self.route_remote(dest, msg);
+            self.comm_advance(cost);
+        } else {
+            self.comm_advance(cost);
+            self.mailboxes[dest].send(self.ctx, msg);
+        }
     }
 
     /// Nonblocking send (`MPI_Isend`): the sender pays only a small
@@ -261,16 +448,24 @@ impl Rank<'_> {
         let inject = SimDuration::from_secs_f64(cost.as_secs_f64() * 0.05);
         self.comm_advance(inject);
         let ready = self.ctx.now() + cost;
-        self.mailboxes[dest].send(
-            self.ctx,
-            Msg {
-                src: self.rank,
-                tag,
-                bytes,
-                data: None,
-                ready,
-            },
-        );
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            bytes,
+            data: None,
+            ready,
+        };
+        if self.is_cross_domain(dest) {
+            // Cross-domain nonblocking send: the payload travels through
+            // the window barrier and the receiver is woken at `ready`
+            // rather than blocking early on a future-stamped message —
+            // same completion time, but the receiver's wait is idle time
+            // instead of charged comm time. The cluster collectives use
+            // blocking semantics, where the two paths agree exactly.
+            self.route_remote(dest, msg);
+        } else {
+            self.mailboxes[dest].send(self.ctx, msg);
+        }
         Request { completion: ready }
     }
 
@@ -297,17 +492,20 @@ impl Rank<'_> {
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         let bytes = (data.len() * 8) as u64;
         let cost = self.message_cost(dest, bytes);
-        self.comm_advance(cost);
-        self.mailboxes[dest].send(
-            self.ctx,
-            Msg {
-                src: self.rank,
-                tag,
-                bytes,
-                data: Some(data.to_vec()),
-                ready: self.ctx.now(),
-            },
-        );
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            bytes,
+            data: Some(data.to_vec()),
+            ready: self.ctx.now() + cost,
+        };
+        if self.is_cross_domain(dest) {
+            self.route_remote(dest, msg);
+            self.comm_advance(cost);
+        } else {
+            self.comm_advance(cost);
+            self.mailboxes[dest].send(self.ctx, msg);
+        }
     }
 
     /// Blocking receive of a payload-carrying message.
@@ -331,18 +529,22 @@ impl Rank<'_> {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         assert!(factor >= 1.0, "contention factor must not speed messages up");
-        let cost = self.message_cost(dest, bytes).as_secs_f64() * factor;
-        self.comm_advance(SimDuration::from_secs_f64(cost));
-        self.mailboxes[dest].send(
-            self.ctx,
-            Msg {
-                src: self.rank,
-                tag,
-                bytes,
-                data: None,
-                ready: self.ctx.now(),
-            },
-        );
+        let cost =
+            SimDuration::from_secs_f64(self.message_cost(dest, bytes).as_secs_f64() * factor);
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            bytes,
+            data: None,
+            ready: self.ctx.now() + cost,
+        };
+        if self.is_cross_domain(dest) {
+            self.route_remote(dest, msg);
+            self.comm_advance(cost);
+        } else {
+            self.comm_advance(cost);
+            self.mailboxes[dest].send(self.ctx, msg);
+        }
     }
 
     /// Blocking receive (`MPI_Recv`). `src = None` accepts any source;
@@ -647,6 +849,103 @@ mod stats_tests {
             phi_stats.comm_s,
             host_stats.comm_s
         );
+    }
+}
+
+#[cfg(test)]
+mod partitioned_tests {
+    use super::*;
+    use crate::partition::{DomainMap, PartitionPlan};
+
+    fn run_cluster(
+        nodes: usize,
+        partitions: usize,
+        fold: Option<Vec<usize>>,
+    ) -> (WorldResult, maia_sim::partition::PartitionRunStats) {
+        let spec = WorldSpec::node_leaders(nodes);
+        let plan = PartitionPlan { map: DomainMap::ByNode, partitions, fold };
+        MpiWorld::run_partitioned(&spec, &plan, |rank| {
+            rank.compute(SimDuration::from_us(3.0 + rank.rank() as f64));
+            rank.allreduce(64 * 1024);
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cluster_allreduce_is_partition_count_invariant() {
+        let (r1, s1) = run_cluster(8, 1, None);
+        assert!(r1.end_time.as_ps() > 0);
+        assert_eq!(s1.partitions, 1);
+        for p in [2, 4, 8] {
+            let (rp, sp) = run_cluster(8, p, None);
+            assert_eq!(r1.end_time, rp.end_time, "{p} partitions");
+            assert_eq!(r1.rank_finish_s, rp.rank_finish_s, "{p} partitions");
+            assert_eq!(r1.rank_stats, rp.rank_stats, "{p} partitions");
+            assert_eq!(sp.partitions, p);
+        }
+    }
+
+    #[test]
+    fn shuffled_domain_fold_is_invariant() {
+        let (base, _) = run_cluster(8, 4, None);
+        // An adversarial fold: reverse the default round-robin placement.
+        let (shuffled, _) = run_cluster(8, 4, Some(vec![3, 1, 0, 2, 2, 0, 1, 3]));
+        assert_eq!(base.end_time, shuffled.end_time);
+        assert_eq!(base.rank_finish_s, shuffled.rank_finish_s);
+        assert_eq!(base.rank_stats, shuffled.rank_stats);
+    }
+
+    #[test]
+    fn cross_domain_payloads_survive_the_barrier() {
+        let spec = WorldSpec::node_leaders(2);
+        let plan = PartitionPlan::by_node(2);
+        let (res, stats) = MpiWorld::run_partitioned(&spec, &plan, |rank| {
+            if rank.rank() == 0 {
+                rank.send_data(1, 7, &[1.5, 2.5, 3.0]);
+            } else {
+                let (src, data) = rank.recv_data(Some(0), 7);
+                assert_eq!(src, 0);
+                assert_eq!(data, vec![1.5, 2.5, 3.0]);
+            }
+        })
+        .unwrap();
+        assert!(res.end_time.as_ps() > 0);
+        assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn partitioned_matches_plain_run_on_one_domain_free_world() {
+        // A single-node world has one domain: the partition layer must
+        // reproduce MpiWorld::run bit-for-bit (nothing ever crosses).
+        let spec = WorldSpec::all_on(maia_arch::Device::Host, 4);
+        let program = |rank: &mut Rank| {
+            rank.compute(SimDuration::from_us(2.0));
+            rank.allreduce(4096);
+        };
+        let plain = MpiWorld::run(&spec, program).unwrap();
+        let (part, stats) =
+            MpiWorld::run_partitioned(&spec, &PartitionPlan::by_node(1), program).unwrap();
+        assert_eq!(plain.end_time, part.end_time);
+        assert_eq!(plain.rank_finish_s, part.rank_finish_s);
+        assert_eq!(plain.rank_stats, part.rank_stats);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn partitioned_deadlock_is_reported() {
+        let spec = WorldSpec::node_leaders(2);
+        let err = MpiWorld::run_partitioned(&spec, &PartitionPlan::by_node(2), |rank| {
+            if rank.rank() == 1 {
+                let _ = rank.recv(Some(0), 99); // never sent
+            }
+        })
+        .unwrap_err();
+        match err {
+            SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked, vec!["rank-1".to_string()])
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
     }
 }
 

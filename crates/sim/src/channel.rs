@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{ProcCtx, ProcessId};
+use crate::engine::{InjectCtx, ProcCtx, ProcessId};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -63,6 +63,18 @@ impl<T: Send> SimChannel<T> {
         inner.queue.push_back(value);
         if let Some(pid) = inner.waiters.pop_front() {
             ctx.wake(pid);
+        }
+    }
+
+    /// Enqueue a message from a scheduled injection (a cross-partition
+    /// delivery) and wake the longest-waiting receiver, if any. Identical
+    /// to [`SimChannel::send`] except the waker is the injection, not a
+    /// running process.
+    pub fn send_injected(&self, ictx: &InjectCtx<'_>, value: T) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(value);
+        if let Some(pid) = inner.waiters.pop_front() {
+            ictx.wake(pid);
         }
     }
 

@@ -99,6 +99,18 @@ enum YieldMsg {
     Panicked { pid: ProcessId, message: String },
 }
 
+/// Target of a queued event: a process resume, or a scheduled injection
+/// (e.g. a cross-partition message delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvTarget {
+    Proc(usize),
+    Inject(usize),
+}
+
+/// A scheduled injection body; runs on the scheduler thread at its
+/// virtual time.
+type Injection = Box<dyn FnOnce(&InjectCtx<'_>) + Send>;
+
 /// State shared between the scheduler and the (single) running process.
 #[derive(Default)]
 pub(crate) struct Shared {
@@ -192,6 +204,42 @@ impl ProcCtx {
     }
 }
 
+/// Context handed to a scheduled injection (see
+/// [`Engine::schedule_injection`]). Unlike [`ProcCtx`] it cannot consume
+/// virtual time: an injection only deposits state (e.g. a message into a
+/// [`SimChannel`](crate::channel::SimChannel)) and wakes blocked processes
+/// at the injection instant.
+pub struct InjectCtx<'a> {
+    now: SimTime,
+    shared: &'a Shared,
+}
+
+impl InjectCtx<'_> {
+    /// Virtual time at which the injection runs.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Request that `pid` be made runnable at the injection's virtual
+    /// time. Drained by the scheduler right after the injection body.
+    pub(crate) fn wake(&self, pid: ProcessId) {
+        self.shared.wakes.lock().push(pid);
+    }
+}
+
+/// Sends one quiesce acknowledgement when the worker's job closure — and
+/// with it the process closure's captured state — has been dropped.
+/// Declared first inside the job body so it drops last.
+struct AckGuard {
+    tx: Sender<()>,
+}
+
+impl Drop for AckGuard {
+    fn drop(&mut self) {
+        let _ = self.tx.send(());
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
     /// Has an event in the queue.
@@ -240,10 +288,18 @@ pub struct Engine {
     shared: Arc<Shared>,
     yield_tx: Sender<YieldMsg>,
     yield_rx: Receiver<YieldMsg>,
-    /// Min-heap over (time, seq, pid).
-    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Min-heap over (time, seq, target).
+    queue: BinaryHeap<Reverse<(SimTime, u64, EvTarget)>>,
     seq: u64,
+    /// Virtual time of the last processed event; persists across
+    /// [`Engine::run_window`] calls.
+    now: SimTime,
     ran: bool,
+    /// Slab of pending injections, indexed by [`EvTarget::Inject`].
+    injections: Vec<Option<Injection>>,
+    ack_tx: Sender<()>,
+    ack_rx: Receiver<()>,
+    quiesced: bool,
     trace: Option<Vec<TraceRecord>>,
     probe: Option<Arc<dyn Probe>>,
 }
@@ -257,11 +313,19 @@ impl Default for Engine {
 impl Engine {
     /// Create an empty engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        // The probe is captured once; the factory resolves
+        // per-construction-thread so a parallel sweep can attribute each
+        // engine to its own experiment.
+        Self::with_probe(crate::probe::probe_for_current_thread())
+    }
+
+    /// Like [`Engine::new`] but with an explicit probe, bypassing the
+    /// per-thread factory. The partition layer uses this to hand every
+    /// wheel a pid-remapping view of one shared experiment probe.
+    pub fn with_probe(probe: Option<Arc<dyn Probe>>) -> Self {
         install_quiet_shutdown_hook();
         let (yield_tx, yield_rx) = unbounded();
-        // Captured once; the factory resolves per-construction-thread so a
-        // parallel sweep can attribute each engine to its own experiment.
-        let probe = crate::probe::probe_for_current_thread();
+        let (ack_tx, ack_rx) = unbounded();
         Engine {
             procs: Vec::new(),
             shared: Arc::new(Shared {
@@ -272,7 +336,12 @@ impl Engine {
             yield_rx,
             queue: BinaryHeap::new(),
             seq: 0,
+            now: SimTime::ZERO,
             ran: false,
+            injections: Vec::new(),
+            ack_tx,
+            ack_rx,
+            quiesced: false,
             trace: None,
             probe,
         }
@@ -301,12 +370,23 @@ impl Engine {
         let yield_tx = self.yield_tx.clone();
         let shared = Arc::clone(&self.shared);
         let name: String = name.into();
+        let ack = AckGuard {
+            tx: self.ack_tx.clone(),
+        };
         // The process body runs on a pooled worker thread (reused across
         // engines); diagnostics identify processes by `ProcEntry::name`,
         // never by OS thread name, so pooling is invisible to callers.
         crate::pool::run_job(Box::new(move || {
+            let _ack = ack; // first in, so it drops after everything else
             // Wait for the first resume before touching anything.
-            let Ok(Resume { now }) = resume_rx.recv() else { return };
+            let Ok(Resume { now }) = resume_rx.recv() else {
+                // Never started: `f` is still an unmoved capture of this
+                // job closure, and captures drop only after the body's
+                // locals — i.e. after `_ack` has already acknowledged.
+                // Drop it by hand so the ack really is last.
+                drop(f);
+                return;
+            };
             let mut ctx = ProcCtx {
                 pid,
                 now,
@@ -338,7 +418,7 @@ impl Engine {
         if let Some(p) = &self.probe {
             p.process_spawned(pid, &name);
         }
-        self.push_event(SimTime::ZERO, pid.0);
+        self.push_event(SimTime::ZERO, EvTarget::Proc(pid.0));
         self.procs.push(ProcEntry {
             name,
             resume_tx,
@@ -365,12 +445,62 @@ impl Engine {
         })
     }
 
-    fn push_event(&mut self, at: SimTime, pid: usize) {
-        if let Some(p) = &self.probe {
-            p.event_scheduled(at.as_ps(), ProcessId(pid));
+    fn push_event(&mut self, at: SimTime, target: EvTarget) {
+        // Injections are not reported to probes: the single-wheel
+        // equivalent of a cross-partition delivery is a plain channel send
+        // by the running sender, which schedules no event of its own —
+        // only the wake-up it triggers is probed, on both paths.
+        if let EvTarget::Proc(pid) = target {
+            if let Some(p) = &self.probe {
+                p.event_scheduled(at.as_ps(), ProcessId(pid));
+            }
         }
-        self.queue.push(Reverse((at, self.seq, pid)));
+        self.queue.push(Reverse((at, self.seq, target)));
         self.seq += 1;
+    }
+
+    /// Schedule `deliver` to run on the event wheel at virtual time `at`.
+    /// The partition layer uses this to deliver cross-partition messages:
+    /// the closure runs on the scheduler thread, in deterministic
+    /// `(time, seq)` order with every other event, and may wake blocked
+    /// processes through [`InjectCtx`] (e.g. via
+    /// [`SimChannel::send_injected`](crate::channel::SimChannel::send_injected)).
+    ///
+    /// # Panics
+    /// Panics if `at` lies before the engine's current virtual time:
+    /// conservative synchronization must never deliver into the past.
+    pub fn schedule_injection<F>(&mut self, at: SimTime, deliver: F)
+    where
+        F: FnOnce(&InjectCtx<'_>) + Send + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "injection scheduled at {at}, before the engine clock {}",
+            self.now
+        );
+        let slot = self.injections.len();
+        self.injections.push(Some(Box::new(deliver)));
+        self.push_event(at, EvTarget::Inject(slot));
+    }
+
+    /// Virtual time of the last processed event ([`SimTime::ZERO`] before
+    /// the first).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Virtual time of the earliest pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Names of the processes currently blocked, in spawn order.
+    pub fn blocked_processes(&self) -> Vec<String> {
+        self.procs
+            .iter()
+            .filter(|p| p.state == ProcState::Blocked)
+            .map(|p| p.name.clone())
+            .collect()
     }
 
     /// Run the simulation to completion.
@@ -385,115 +515,182 @@ impl Engine {
     /// Like [`Engine::run`], also returning the recorded trace (empty
     /// unless [`Engine::enable_tracing`] was called).
     pub fn run_traced(mut self) -> Result<(SimTime, Vec<TraceRecord>), SimError> {
-        self.ran = true;
-        let mut now = SimTime::ZERO;
-        while let Some(Reverse((t, _seq, pidx))) = self.queue.pop() {
-            debug_assert!(t >= now, "event queue went backwards in time");
-            now = t;
-            debug_assert_eq!(
-                self.procs[pidx].state,
-                ProcState::Queued,
-                "popped an event for process '{}' in state {:?}",
-                self.procs[pidx].name,
-                self.procs[pidx].state
-            );
-            self.procs[pidx].state = ProcState::Running;
-            if let Some(t) = self.trace.as_mut() {
-                t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId(pidx), kind: TraceKind::Resumed });
-            }
+        self.step_until(None)?;
+        let blocked = self.blocked_processes();
+        if blocked.is_empty() {
             if let Some(p) = &self.probe {
-                p.event_fired(now.as_ps(), ProcessId(pidx), self.queue.len());
+                p.run_complete(self.now.as_ps());
             }
-            if self.procs[pidx].resume_tx.send(Resume { now }).is_err() {
+            Ok((self.now, self.trace.take().unwrap_or_default()))
+        } else {
+            Err(SimError::Deadlock {
+                blocked,
+                at: self.now,
+            })
+        }
+    }
+
+    /// Process every event with virtual time strictly below `limit`, then
+    /// return. Pending events at or past `limit` — and blocked processes —
+    /// are left in place for subsequent windows; the partition layer calls
+    /// this once per conservative lookahead window, ingesting
+    /// cross-partition messages between calls via
+    /// [`Engine::schedule_injection`]. Unlike [`Engine::run`] this emits
+    /// no `run_complete` and reports no deadlock: end-of-run accounting
+    /// belongs to the orchestrator that owns all the wheels.
+    pub fn run_window(&mut self, limit: SimTime) -> Result<(), SimError> {
+        self.step_until(Some(limit))
+    }
+
+    fn step_until(&mut self, limit: Option<SimTime>) -> Result<(), SimError> {
+        self.ran = true;
+        loop {
+            match self.queue.peek() {
+                None => return Ok(()),
+                Some(Reverse((t, _, _))) => {
+                    if limit.is_some_and(|lim| *t >= lim) {
+                        return Ok(());
+                    }
+                }
+            }
+            let Reverse((t, _seq, target)) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event queue went backwards in time");
+            self.now = t;
+            match target {
+                EvTarget::Inject(slot) => {
+                    let deliver = self.injections[slot]
+                        .take()
+                        .expect("injection event fired twice");
+                    deliver(&InjectCtx {
+                        now: self.now,
+                        shared: &self.shared,
+                    });
+                }
+                EvTarget::Proc(pidx) => self.step_proc(pidx)?,
+            }
+            self.drain_wakes();
+        }
+    }
+
+    fn step_proc(&mut self, pidx: usize) -> Result<(), SimError> {
+        let now = self.now;
+        debug_assert_eq!(
+            self.procs[pidx].state,
+            ProcState::Queued,
+            "popped an event for process '{}' in state {:?}",
+            self.procs[pidx].name,
+            self.procs[pidx].state
+        );
+        self.procs[pidx].state = ProcState::Running;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId(pidx), kind: TraceKind::Resumed });
+        }
+        if let Some(p) = &self.probe {
+            p.event_fired(now.as_ps(), ProcessId(pidx), self.queue.len());
+        }
+        if self.procs[pidx].resume_tx.send(Resume { now }).is_err() {
+            return Err(SimError::ProcessPanicked {
+                name: self.procs[pidx].name.clone(),
+                message: "process thread exited without yielding".to_string(),
+                at: now,
+            });
+        }
+        let msg = self
+            .yield_rx
+            .recv()
+            .expect("yield channel closed while a process was running");
+        match msg {
+            YieldMsg::Advance { pid, dur } => {
+                self.procs[pid.0].state = ProcState::Queued;
+                let at = now + dur;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Advanced });
+                }
+                if let Some(p) = &self.probe {
+                    p.advanced(now.as_ps(), pid, dur.as_ps());
+                }
+                self.push_event(at, EvTarget::Proc(pid.0));
+            }
+            YieldMsg::Blocked { pid } => {
+                self.procs[pid.0].state = ProcState::Blocked;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Blocked });
+                }
+                if let Some(p) = &self.probe {
+                    p.blocked(now.as_ps(), pid);
+                }
+            }
+            YieldMsg::Finished { pid } => {
+                self.procs[pid.0].state = ProcState::Finished;
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Finished });
+                }
+                if let Some(p) = &self.probe {
+                    p.finished(now.as_ps(), pid);
+                }
+                // The worker that hosted this process returns itself
+                // to the pool; there is no thread to join.
+            }
+            YieldMsg::Panicked { pid, message } => {
                 return Err(SimError::ProcessPanicked {
-                    name: self.procs[pidx].name.clone(),
-                    message: "process thread exited without yielding".to_string(),
+                    name: self.procs[pid.0].name.clone(),
+                    message,
                     at: now,
                 });
             }
-            let msg = self
-                .yield_rx
-                .recv()
-                .expect("yield channel closed while a process was running");
-            match msg {
-                YieldMsg::Advance { pid, dur } => {
-                    self.procs[pid.0].state = ProcState::Queued;
-                    let at = now + dur;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Advanced });
-                    }
-                    if let Some(p) = &self.probe {
-                        p.advanced(now.as_ps(), pid, dur.as_ps());
-                    }
-                    self.push_event(at, pid.0);
-                }
-                YieldMsg::Blocked { pid } => {
-                    self.procs[pid.0].state = ProcState::Blocked;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Blocked });
-                    }
-                    if let Some(p) = &self.probe {
-                        p.blocked(now.as_ps(), pid);
-                    }
-                }
-                YieldMsg::Finished { pid } => {
-                    self.procs[pid.0].state = ProcState::Finished;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Finished });
-                    }
-                    if let Some(p) = &self.probe {
-                        p.finished(now.as_ps(), pid);
-                    }
-                    // The worker that hosted this process returns itself
-                    // to the pool; there is no thread to join.
-                }
-                YieldMsg::Panicked { pid, message } => {
-                    return Err(SimError::ProcessPanicked {
-                        name: self.procs[pid.0].name.clone(),
-                        message,
-                        at: now,
-                    });
-                }
-            }
-            // Apply wake requests raised while the process ran.
-            let wakes: Vec<ProcessId> = std::mem::take(&mut *self.shared.wakes.lock());
-            for w in wakes {
-                if self.procs[w.0].state == ProcState::Blocked {
-                    self.procs[w.0].state = ProcState::Queued;
-                    self.push_event(now, w.0);
-                }
-                // A wake for a Queued/Running/Finished process is spurious
-                // (e.g. two senders raced in the same instant); ignore it —
-                // the target will re-check its wait condition anyway.
-            }
         }
+        Ok(())
+    }
 
-        let blocked: Vec<String> = self
-            .procs
-            .iter()
-            .filter(|p| p.state == ProcState::Blocked)
-            .map(|p| p.name.clone())
-            .collect();
-        if blocked.is_empty() {
-            if let Some(p) = &self.probe {
-                p.run_complete(now.as_ps());
+    /// Apply wake requests raised while a process ran (or an injection
+    /// delivered).
+    fn drain_wakes(&mut self) {
+        let wakes: Vec<ProcessId> = std::mem::take(&mut *self.shared.wakes.lock());
+        for w in wakes {
+            if self.procs[w.0].state == ProcState::Blocked {
+                self.procs[w.0].state = ProcState::Queued;
+                self.push_event(self.now, EvTarget::Proc(w.0));
             }
-            Ok((now, self.trace.take().unwrap_or_default()))
-        } else {
-            Err(SimError::Deadlock { blocked, at: now })
+            // A wake for a Queued/Running/Finished process is spurious
+            // (e.g. two senders raced in the same instant); ignore it —
+            // the target will re-check its wait condition anyway.
+        }
+    }
+
+    /// Quiesce every process worker: unwind all still-parked processes and
+    /// wait until each worker has dropped its job closure — and with it
+    /// the captured state of the process body — before returning.
+    /// Idempotent, and invoked by `Drop`, so by the time an engine is gone
+    /// no pooled worker still holds references into its world. (The worker
+    /// pool had made teardown asynchronous: a pooled worker could still be
+    /// unwinding a dead engine's closure while the caller inspected state
+    /// those closures captured.)
+    ///
+    /// Must not be called while a process is executing; between windows
+    /// and after a run, every process is parked or finished.
+    pub fn quiesce(&mut self) {
+        if self.quiesced {
+            return;
+        }
+        self.quiesced = true;
+        for p in &mut self.procs {
+            // Dropping the real resume sender makes a parked process
+            // unwind via the quiet EngineShutdown token.
+            let (dead_tx, _) = unbounded::<Resume>();
+            p.resume_tx = dead_tx;
+        }
+        // One acknowledgement per spawned process, sent by its AckGuard
+        // when the job closure is dropped (finished processes sent theirs
+        // already; the channel buffers them).
+        for _ in 0..self.procs.len() {
+            let _ = self.ack_rx.recv();
         }
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Dropping the resume senders makes any still-parked process unwind
-        // via the quiet EngineShutdown token; its pooled worker then parks
-        // itself for reuse, so nothing needs joining here.
-        for p in &mut self.procs {
-            let (dead_tx, _) = unbounded::<Resume>();
-            p.resume_tx = dead_tx; // drop the real sender
-        }
+        self.quiesce();
     }
 }
 

@@ -45,11 +45,12 @@
 
 pub mod channel;
 pub mod engine;
+pub mod partition;
 mod pool;
 pub mod probe;
 pub mod resource;
 pub mod time;
 
-pub use engine::{Engine, ProcCtx, ProcessId, SimError, TraceKind, TraceRecord};
+pub use engine::{Engine, InjectCtx, ProcCtx, ProcessId, SimError, TraceKind, TraceRecord};
 pub use probe::{factory_installed, set_probe_factory, Probe};
 pub use time::{SimDuration, SimTime};

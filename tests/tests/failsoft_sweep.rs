@@ -21,7 +21,7 @@ fn serialize() -> MutexGuard<'static, ()> {
 }
 
 /// Acceptance criterion: with one panicking and one deadlocking
-/// experiment injected into the full 27-experiment sweep, the other 25
+/// experiment injected into the full 29-experiment sweep, the other 27
 /// complete with correct data and both failures are reported.
 #[test]
 fn sweep_isolates_panicking_and_deadlocking_experiments() {
@@ -82,7 +82,7 @@ fn sweep_isolates_panicking_and_deadlocking_experiments() {
     let summary = report.timing_summary();
     assert!(summary.contains("FAILED F17 [panic]"), "summary: {summary}");
     assert!(summary.contains("FAILED F21 [deadlock]"));
-    assert!(summary.contains("2 experiment(s) FAILED; 25 completed"));
+    assert!(summary.contains("2 experiment(s) FAILED; 27 completed"));
 
     // And the machine-readable record lists both.
     let json = report.to_bench_json();

@@ -84,16 +84,33 @@ fn assert_cell_eq(device: Device, ranks: usize, bytes: u64, op: CollectiveOp) {
 }
 
 /// The crosscheck oracle — the same comparison the `maia-bench
-/// crosscheck` CI gate runs — reports a full-grid match.
+/// crosscheck` CI gate runs — reports a full-grid match. Its DES side
+/// runs the cluster experiments (C01/C02) through the *partitioned*
+/// engine, so a match here also pins closed form == partitioned DES.
 #[test]
 fn crosscheck_oracle_reports_a_match() {
     let _g = serialize();
+    cache::clear();
     let report = maia_core::run_crosscheck(2);
     assert!(report.is_match(), "{}", report.to_markdown());
-    assert_eq!(report.experiments.len(), 5);
+    assert_eq!(report.experiments.len(), 7);
     let total_cells: usize = report.experiments.iter().map(|e| e.cells).sum();
-    // 9 + 9 + 9 + 18 + 15 rows x 3 columns.
-    assert_eq!(total_cells, 180);
+    // F10-F14: (9 + 9 + 9 + 18 + 15 rows) x 3 columns; C01/C02: 12 rows
+    // x 4 columns each.
+    assert_eq!(total_cells, 180 + 2 * 48);
+}
+
+/// The same oracle with the cluster DES side sharded over several event
+/// wheels: the closed forms must equal the *partitioned* engine at every
+/// wheel count, not just the trivial single-wheel fold.
+#[test]
+fn crosscheck_oracle_matches_under_partitioning() {
+    let _g = serialize();
+    cache::clear();
+    maia_mpi::partition::set_partitions(4);
+    let report = maia_core::run_crosscheck(2);
+    maia_mpi::partition::set_partitions(1);
+    assert!(report.is_match(), "{}", report.to_markdown());
 }
 
 /// An armed fault plan forces the DES — even one (degraded-stack) whose
