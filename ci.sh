@@ -13,28 +13,36 @@ cargo test -q
 echo "== cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== smoke sweep: maia-bench run --all --jobs 2 vs tests/golden/smoke_sweep.md"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
-./target/release/maia-bench run --all --jobs 2 >"$tmp" 2>/dev/null
-diff -u tests/golden/smoke_sweep.md "$tmp"
 
-echo "== conformance gate: maia-bench check --all vs tests/golden/conformance.md"
-# Exit 1 here means a model change bent a paper-published shape; the
-# diff below additionally catches silent predicate-set drift.
-./target/release/maia-bench check --all --jobs 2 >"$tmp"
-diff -u tests/golden/conformance.md "$tmp"
+# golden_gate <label> <golden file> <command...>
+# Runs the command, captures stdout, and diffs it against the golden —
+# the single shape every byte-identity gate in this script takes. A diff
+# means the model output drifted (or stopped being deterministic).
+golden_gate() {
+    local label=$1 golden=$2
+    shift 2
+    echo "== $label: vs $golden"
+    "$@" >"$tmp" 2>/dev/null
+    diff -u "$golden" "$tmp"
+}
+
+golden_gate "smoke sweep (run --all --jobs 2)" tests/golden/smoke_sweep.md \
+    ./target/release/maia-bench run --all --jobs 2
+# A conformance diff means a model change bent a paper-published shape,
+# or the predicate set itself silently drifted.
+golden_gate "conformance gate (check --all)" tests/golden/conformance.md \
+    ./target/release/maia-bench check --all --jobs 2
+# Bit-identical resilience report at fixed plan/seed/--jobs: a diff here
+# means fault injection stopped being deterministic, or a hook leaked
+# into (or drifted from) the nominal models.
+golden_gate "faults smoke (degraded-stack plan)" tests/golden/resilience.md \
+    ./target/release/maia-bench faults --plan degraded-stack --only F07,F08,F09,F18 --jobs 2
 
 echo "== profile smoke: maia-bench profile --only fig_04 --trace + trace_lint"
 ./target/release/maia-bench profile --only fig_04 --trace "$tmp" >/dev/null
 ./target/release/trace_lint "$tmp"
-
-echo "== faults smoke: maia-bench faults --plan degraded-stack vs tests/golden/resilience.md"
-# Bit-identical resilience report at fixed plan/seed/--jobs: a diff here
-# means fault injection stopped being deterministic, or a hook leaked
-# into (or drifted from) the nominal models.
-./target/release/maia-bench faults --plan degraded-stack --only F07,F08,F09,F18 --jobs 2 >"$tmp"
-diff -u tests/golden/resilience.md "$tmp"
 
 echo "== engine crosscheck: every F10-F14 and C01-C02 cell, closed forms vs DES"
 # Exit 1 here names the first cell where the fast path and the
@@ -45,16 +53,15 @@ echo "== engine crosscheck: every F10-F14 and C01-C02 cell, closed forms vs DES"
     exit 1
 }
 
-echo "== partitioned cluster DES: sharded runs vs tests/golden/cluster_sweep.md"
 # The partitioned engine must be a pure function of the simulated world:
 # single-wheel output pins the golden, and (with enough cores to make
 # multi-wheel runs meaningful) a 4-wheel run must be byte-identical.
-./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 1 >"$tmp" 2>/dev/null
-diff -u tests/golden/cluster_sweep.md "$tmp"
+golden_gate "partitioned cluster DES (1 wheel)" tests/golden/cluster_sweep.md \
+    ./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 1
 cores=$(nproc)
 if [ "$cores" -ge 4 ]; then
-    ./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 4 >"$tmp" 2>/dev/null
-    diff -u tests/golden/cluster_sweep.md "$tmp"
+    golden_gate "partitioned cluster DES (4 wheels)" tests/golden/cluster_sweep.md \
+        ./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des --partitions 4
     echo "== partition speedup: 4 wheels must beat 1 by >1.5x on $cores cores"
     p1_start=$(date +%s.%N)
     ./target/release/maia-bench run --only C01,C02 --jobs 1 --engine des --partitions 1 >/dev/null 2>&1
@@ -88,15 +95,44 @@ grep -q '^## T1 ' "$tmp" || {
 # The PR 1 jobs=1-vs-jobs=4 speedup assertion retired with the closed-form
 # collective fast paths: the sweep no longer contains enough parallelizable
 # DES work for a 2x ratio. The wall budget below is the stronger gate — it
-# fails if the fast paths stop engaging (a DES F13+F14 alone costs ~4 s).
+# fails if the fast paths stop engaging (a DES F13+F14 alone costs ~4 s)
+# or if the inline-process engine regresses (A01+A02 alone would blow it).
 echo "== sweep wall budget (informational; asserted only with >= 4 cores)"
 ./target/release/maia-bench run --all --jobs 2 --bench-json "$tmp" >/dev/null 2>&1
 wall_s=$(grep -o '"wall_s": [0-9.]*' "$tmp" | head -n 1 | awk '{print $2}')
-echo "   run --all --jobs 2: ${wall_s} s (budget 0.5 s; recorded: BENCH_sweep.json)"
-cores=$(nproc)
-if [ "$cores" -ge 4 ] && ! awk -v w="$wall_s" 'BEGIN { exit !(w < 0.5) }'; then
-    echo "FAIL: sweep wall ${wall_s} s exceeds the 0.5 s budget on $cores cores" >&2
+echo "   run --all --jobs 2: ${wall_s} s (budget 0.06 s; recorded: BENCH_sweep.json)"
+if [ "$cores" -ge 4 ] && ! awk -v w="$wall_s" 'BEGIN { exit !(w < 0.06) }'; then
+    echo "FAIL: sweep wall ${wall_s} s exceeds the 0.06 s budget on $cores cores" >&2
     exit 1
+fi
+
+echo "== perf regression gate: fresh per-experiment walls vs BENCH_sweep.json"
+# Compares each experiment's *exclusive* wall (concurrency-corrected; see
+# ExperimentRun::excl) against the committed baseline. >2x plus a 5 ms
+# absolute slack counts as a regression — wide enough to ride out CI
+# noise, tight enough to catch an accidental O(events) allocation or a
+# fast path that stopped engaging. Asserted only with >= 4 cores (the
+# recorded baseline assumes experiments do not time-share one core).
+set +e
+paste \
+    <(grep -o '"code": "[A-Z0-9]*", "wall_s": [0-9.]*, "excl_s": [0-9.]*' "$tmp") \
+    <(grep -o '"code": "[A-Z0-9]*", "wall_s": [0-9.]*, "excl_s": [0-9.]*' BENCH_sweep.json) |
+    awk -F'[",:[:space:]]+' '
+        # Fields per pasted line: $3/$9 codes, $7/$13 exclusive walls.
+        $3 != $9 { printf "   experiment list drifted: fresh %s vs recorded %s\n", $3, $9; bad = 1; exit 1 }
+        $7 > 2 * $13 + 0.005 { printf "   %s: fresh excl %.6f s > 2x recorded %.6f s + 5 ms\n", $3, $7, $13; bad = 1 }
+        END { exit bad }
+    '
+perf_rc=$?
+set -e
+if [ "$perf_rc" -ne 0 ]; then
+    if [ "$cores" -ge 4 ]; then
+        echo "FAIL: per-experiment perf regression vs BENCH_sweep.json (see above)" >&2
+        exit 1
+    fi
+    echo "   ($cores core(s): regressions above are informational below 4 cores)"
+else
+    echo "   all experiments within 2x of recorded exclusive walls"
 fi
 
 echo "CI green"

@@ -218,16 +218,24 @@ pub(crate) fn adi_zone(
     let coeffs = penta_coeffs();
     let sweep = |team: &Team, s: &mut State5| {
         maia_npb::flow::for_each_line(team, s, |line| {
-            let mut scratch = vec![0.0; n];
-            for m in 0..NVAR {
-                for i in 0..n {
-                    scratch[i] = line[i * NVAR + m];
-                }
-                solve_penta(coeffs, &mut scratch);
-                for i in 0..n {
-                    line[i * NVAR + m] = scratch[i];
-                }
+            // One scratch buffer per worker thread, not per line.
+            thread_local! {
+                static SCRATCH: std::cell::RefCell<Vec<f64>> =
+                    const { std::cell::RefCell::new(Vec::new()) };
             }
+            SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                scratch.resize(n, 0.0);
+                for m in 0..NVAR {
+                    for i in 0..n {
+                        scratch[i] = line[i * NVAR + m];
+                    }
+                    solve_penta(coeffs, &mut scratch);
+                    for i in 0..n {
+                        line[i * NVAR + m] = scratch[i];
+                    }
+                }
+            });
         });
     };
     sweep(team, &mut r);

@@ -52,7 +52,10 @@ pub fn run_mpi(
     let out: Arc<Mutex<Option<(f64, f64)>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
 
-    let res = MpiWorld::run(spec, move |rank| {
+    let res = MpiWorld::run(spec, move |mut rank| {
+        let out2 = Arc::clone(&out2);
+        let case = case.clone();
+        async move {
         let me = rank.rank();
         let p = rank.size();
         let z_lo = case.zones * me / p;
@@ -83,7 +86,8 @@ pub fn run_mpi(
             rank.compute(SimDuration::from_secs_f64(
                 (z_hi - z_lo) as f64 * zone_flops
                     / (gflops * 1e9 * threads_per_rank as f64),
-            ));
+            ))
+            .await;
 
             let step_tag = (step as i32) << 8;
             let mut mismatch_acc = 0.0;
@@ -95,13 +99,13 @@ pub fn run_mpi(
             if has_right_neighbor {
                 // My last zone is the left side of a cross-rank overlap.
                 let donor = extract_planes(zones.last().expect("owns zones"), &[n - 4, n - 3]);
-                rank.send_data(me + 1, TAG_DONOR_RIGHT + step_tag, &donor);
+                rank.send_data(me + 1, TAG_DONOR_RIGHT + step_tag, &donor).await;
             }
             if has_left_neighbor {
                 // My first zone is the right side: ship planes [1,2,3]
                 // (plane 1 feeds the mismatch metric, 2 and 3 the donors).
                 let donor = extract_planes(&zones[0], &[1, 2, 3]);
-                rank.send_data(me - 1, TAG_DONOR_LEFT + step_tag, &donor);
+                rank.send_data(me - 1, TAG_DONOR_LEFT + step_tag, &donor).await;
             }
 
             // 3. Intra-rank boundaries: same arithmetic as the
@@ -117,7 +121,8 @@ pub fn run_mpi(
 
             // 4. Receive and apply the cross-rank donors.
             if has_right_neighbor {
-                let (_, planes123) = rank.recv_data(Some(me + 1), TAG_DONOR_LEFT + step_tag);
+                let (_, planes123) =
+                    rank.recv_data(Some(me + 1), TAG_DONOR_LEFT + step_tag).await;
                 let per_plane = planes123.len() / 3;
                 mismatch_acc += mismatch_sq(
                     zones.last().expect("owns zones"),
@@ -130,29 +135,40 @@ pub fn run_mpi(
                 );
             }
             if has_left_neighbor {
-                let (_, donor) = rank.recv_data(Some(me - 1), TAG_DONOR_RIGHT + step_tag);
+                let (_, donor) =
+                    rank.recv_data(Some(me - 1), TAG_DONOR_RIGHT + step_tag).await;
                 apply_planes(&mut zones[0], &[0, 1], &donor);
             }
 
-            // 5. Global convergence metrics.
-            let local_sq: f64 = (z_lo..z_hi)
-                .enumerate()
-                .map(|(local, zi)| {
-                    zone_interior_sq(
-                        &team,
-                        &zones[local],
-                        &forcing[local],
-                        zi > 0,
-                        zi + 1 < case.zones,
-                    )
-                })
-                .sum();
+            // 5. Global convergence metrics. Only the final step's
+            // values are reported, so the interior-residual scan (a full
+            // stencil sweep per zone) runs only then; the allreduce
+            // still happens every step, carrying the same byte count, so
+            // virtual time is unchanged.
+            let local_sq: f64 = if step + 1 == steps {
+                (z_lo..z_hi)
+                    .enumerate()
+                    .map(|(local, zi)| {
+                        zone_interior_sq(
+                            &team,
+                            &zones[local],
+                            &forcing[local],
+                            zi > 0,
+                            zi + 1 < case.zones,
+                        )
+                    })
+                    .sum()
+            } else {
+                0.0
+            };
             let mut buf = vec![local_sq, mismatch_acc];
-            rank.allreduce_sum_data(&mut buf);
+            rank.allreduce_sum_data(&mut buf).await;
             last = (buf[0].sqrt(), buf[1].sqrt());
         }
         if me == 0 {
             *out2.lock() = Some(last);
+        }
+        rank
         }
     })
     .expect("OVERFLOW world deadlocked");

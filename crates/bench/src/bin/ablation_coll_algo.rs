@@ -10,10 +10,13 @@ use maia_mpi::{MpiWorld, WorldSpec};
 
 fn time(bytes: u64, mode: &'static str) -> f64 {
     let spec = WorldSpec::all_on(Device::Phi0, 59);
-    MpiWorld::run(&spec, move |rank| match mode {
-        "bruck" => rank.allgather_bruck(bytes),
-        "ring" => rank.allgather_ring(bytes),
-        _ => rank.allgather(bytes),
+    MpiWorld::run(&spec, move |mut rank| async move {
+        match mode {
+            "bruck" => rank.allgather_bruck(bytes).await,
+            "ring" => rank.allgather_ring(bytes).await,
+            _ => rank.allgather(bytes).await,
+        }
+        rank
     })
     .expect("allgather deadlocked")
     .end_time

@@ -16,8 +16,9 @@ fn main() {
     let bytes: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(64 * 1024);
 
     let spec = WorldSpec::all_on(Device::Phi0, ranks);
-    let (res, trace) = MpiWorld::run_traced(&spec, move |rank| {
-        rank.allreduce(bytes);
+    let (res, trace) = MpiWorld::run_traced(&spec, move |mut rank| async move {
+        rank.allreduce(bytes).await;
+        rank
     })
     .expect("allreduce deadlocked");
 

@@ -39,8 +39,15 @@ pub struct ExperimentRun {
     pub id: ExperimentId,
     /// The regenerated table.
     pub data: FigureData,
-    /// Wall-clock time this experiment took inside the sweep.
+    /// Wall-clock time this experiment took inside the sweep. With
+    /// `jobs > 1` the interval overlaps other experiments', so these
+    /// *inclusive* walls sum to more than the sweep wall.
     pub wall: Duration,
+    /// Exclusive wall: this experiment's interval with every instant
+    /// divided by the number of experiments running at that instant
+    /// (∫ dt / active(t)). Exclusive walls sum to at most the sweep
+    /// wall, so they are the per-experiment costs a budget can add up.
+    pub excl: Duration,
 }
 
 /// Why an experiment failed to produce its table.
@@ -163,9 +170,10 @@ impl SweepReport {
         out.push_str("  \"experiments\": [\n");
         for (i, run) in self.runs.iter().enumerate() {
             out.push_str(&format!(
-                "    {{ \"code\": \"{}\", \"wall_s\": {:.6} }}{}\n",
+                "    {{ \"code\": \"{}\", \"wall_s\": {:.6}, \"excl_s\": {:.6} }}{}\n",
                 run.id.meta().code,
                 run.wall.as_secs_f64(),
+                run.excl.as_secs_f64(),
                 if i + 1 == self.runs.len() { "" } else { "," },
             ));
         }
@@ -201,6 +209,10 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
 
     type SlotResult = Result<ExperimentRun, ExperimentFailure>;
     let slots: Mutex<Vec<Option<SlotResult>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
+    // Per-slot (start, end) offsets from sweep start, for the exclusive-
+    // wall computation (failures occupy a worker too, so they count).
+    let intervals: Mutex<Vec<Option<(f64, f64)>>> =
+        Mutex::new((0..ids.len()).map(|_| None).collect());
     let team = Team::labeled(jobs, "sweep");
     let state = LoopState::new(0..order.len(), Schedule::Dynamic { chunk: 1 });
     team.parallel(|ctx| {
@@ -218,10 +230,23 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
                 wall.as_secs_f64(),
                 "wall-exp",
             );
-            let entry = result.map(|data| ExperimentRun { id, data, wall });
+            let started_s = t0.duration_since(start).as_secs_f64();
+            intervals.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] =
+                Some((started_s, started_s + wall.as_secs_f64()));
+            let entry = result.map(|data| ExperimentRun {
+                id,
+                data,
+                wall,
+                excl: Duration::ZERO, // filled in below from the timeline
+            });
             slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(entry);
         });
     });
+
+    let intervals = intervals
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let exclusive = exclusive_walls(&intervals);
 
     let mut runs: Vec<ExperimentRun> = Vec::with_capacity(ids.len());
     let mut failures: Vec<ExperimentFailure> = Vec::new();
@@ -232,7 +257,10 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
         .enumerate()
     {
         match slot {
-            Some(Ok(run)) => runs.push(run),
+            Some(Ok(mut run)) => {
+                run.excl = Duration::from_secs_f64(exclusive[idx].unwrap_or(0.0));
+                runs.push(run);
+            }
             Some(Err(failure)) => failures.push(failure),
             // A worker that died before storing anything (e.g. killed by
             // the pool) is reported, not expect()-ed on.
@@ -256,6 +284,40 @@ pub fn run_experiments_parallel(ids: &[ExperimentId], jobs: usize) -> SweepRepor
             misses: cache_after.misses - cache_before.misses,
         },
     }
+}
+
+/// Contention-discounted wall per interval: split every elementary time
+/// segment evenly among the experiments active during it, so the results
+/// sum to (at most) the sweep wall regardless of `jobs`. O(n²) in the
+/// experiment count, which never exceeds a few dozen.
+fn exclusive_walls(intervals: &[Option<(f64, f64)>]) -> Vec<Option<f64>> {
+    let mut bounds: Vec<f64> = intervals
+        .iter()
+        .flatten()
+        .flat_map(|&(s, e)| [s, e])
+        .collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+    intervals
+        .iter()
+        .map(|iv| {
+            let (s, e) = (*iv)?;
+            let mut acc = 0.0;
+            for w in bounds.windows(2) {
+                let (t0, t1) = (w[0].max(s), w[1].min(e));
+                if t1 <= t0 {
+                    continue;
+                }
+                let active = intervals
+                    .iter()
+                    .flatten()
+                    .filter(|&&(s2, e2)| s2 < t1 && e2 > t0)
+                    .count();
+                acc += (t1 - t0) / active as f64;
+            }
+            Some(acc)
+        })
+        .collect()
 }
 
 /// Watchdog budget per experiment (`MAIA_EXPERIMENT_TIMEOUT_S`,
@@ -425,6 +487,44 @@ mod tests {
             let serial = run_experiment(run.id);
             assert_eq!(run.data.to_markdown(), serial.to_markdown());
             assert_eq!(run.data.to_csv(), serial.to_csv());
+        }
+    }
+
+    #[test]
+    fn exclusive_walls_split_overlap_evenly() {
+        // Two fully overlapping intervals of 2 s each: 1 s exclusive.
+        let both = exclusive_walls(&[Some((0.0, 2.0)), Some((0.0, 2.0))]);
+        assert!((both[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((both[1].unwrap() - 1.0).abs() < 1e-12);
+        // Half overlap: [0,2) and [1,3) — each gets 1 + 0.5.
+        let half = exclusive_walls(&[Some((0.0, 2.0)), Some((1.0, 3.0)), None]);
+        assert!((half[0].unwrap() - 1.5).abs() < 1e-12);
+        assert!((half[1].unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(half[2], None);
+        // Disjoint intervals keep their full wall.
+        let apart = exclusive_walls(&[Some((0.0, 1.0)), Some((2.0, 3.0))]);
+        assert!((apart[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((apart[1].unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_walls_sum_to_at_most_the_sweep_wall() {
+        let ids = [
+            ExperimentId::F7PcieLatency,
+            ExperimentId::F18OffloadBw,
+            ExperimentId::F17Io,
+            ExperimentId::T1Table,
+        ];
+        let report = run_experiments_parallel(&ids, 2);
+        let excl_sum: f64 = report.runs.iter().map(|r| r.excl.as_secs_f64()).sum();
+        assert!(
+            excl_sum <= report.wall.as_secs_f64() * 1.001 + 1e-6,
+            "exclusive sum {excl_sum} exceeds sweep wall {}",
+            report.wall.as_secs_f64()
+        );
+        for run in &report.runs {
+            assert!(run.excl <= run.wall, "{}", run.id.meta().code);
+            assert!(run.excl > Duration::ZERO, "{}", run.id.meta().code);
         }
     }
 

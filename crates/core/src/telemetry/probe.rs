@@ -73,6 +73,30 @@ impl maia_sim::Probe for SimProbe {
         lock_sink(&self.sink).sim.finished += 1;
     }
 
+    fn sched_stats(&self, stats: &maia_sim::SchedStats) {
+        let mut s = lock_sink(&self.sink);
+        *s.counters.entry("sched.events_pushed".to_string()).or_insert(0) +=
+            stats.events_pushed;
+        *s.counters.entry("sched.events_popped".to_string()).or_insert(0) +=
+            stats.events_popped;
+        *s.counters.entry("sched.procs_inline".to_string()).or_insert(0) +=
+            stats.procs_inline;
+        *s.counters.entry("sched.procs_threaded".to_string()).or_insert(0) +=
+            stats.procs_threaded;
+        // Wheel-occupancy histogram: bucket = wheel level (7 = far-future
+        // overflow), count = insertions that landed there. Inserted
+        // directly — the bucket key is the level itself, not a
+        // bit-length.
+        let h = s.hist.entry("sched.wheel_level".to_string()).or_default();
+        for (level, &pushes) in stats.wheel_level_pushes.iter().enumerate() {
+            if pushes > 0 {
+                *h.buckets.entry(level as u32).or_insert(0) += pushes;
+                h.count += pushes;
+                h.sum = h.sum.saturating_add(level as u64 * pushes);
+            }
+        }
+    }
+
     fn run_complete(&self, end_ps: u64) {
         // Engine makespan is fabric/contention time in this codebase:
         // only the MPI world and resource models drive engines.
@@ -185,5 +209,29 @@ mod tests {
         assert_eq!(s.vt_ps.get("mpi-fabric"), Some(&2_500));
         assert_eq!(s.spans.len(), 1);
         assert_eq!(s.spans[0].dur_ps, 2_500);
+    }
+
+    #[test]
+    fn sched_stats_land_in_counters_and_wheel_histogram() {
+        let sink: SharedSink = Arc::new(Mutex::new(super::super::Sink::default()));
+        let probe = SimProbe::new(Arc::clone(&sink));
+        let stats = maia_sim::SchedStats {
+            events_pushed: 12,
+            events_popped: 12,
+            wheel_level_pushes: [8, 3, 0, 0, 0, 0, 0, 1],
+            procs_inline: 4,
+            procs_threaded: 1,
+        };
+        probe.sched_stats(&stats);
+        let s = lock_sink(&sink);
+        assert_eq!(s.counters.get("sched.events_pushed"), Some(&12));
+        assert_eq!(s.counters.get("sched.events_popped"), Some(&12));
+        assert_eq!(s.counters.get("sched.procs_inline"), Some(&4));
+        assert_eq!(s.counters.get("sched.procs_threaded"), Some(&1));
+        let h = s.hist.get("sched.wheel_level").expect("wheel histogram");
+        assert_eq!(h.buckets.get(&0), Some(&8));
+        assert_eq!(h.buckets.get(&1), Some(&3));
+        assert_eq!(h.buckets.get(&7), Some(&1)); // overflow level
+        assert_eq!(h.count, 12);
     }
 }

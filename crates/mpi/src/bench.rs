@@ -34,16 +34,17 @@ fn spec_for_path(path: NodePath, stack: SoftwareStack) -> WorldSpec {
 pub fn pcie_latency_us(stack: SoftwareStack, path: NodePath) -> f64 {
     let spec = spec_for_path(path, stack);
     let iters = 10u32;
-    let res = MpiWorld::run(&spec, move |rank| {
+    let res = MpiWorld::run(&spec, move |mut rank| async move {
         for i in 0..iters as i32 {
             if rank.rank() == 0 {
-                rank.send(1, i, 0);
-                let _ = rank.recv(Some(1), i);
+                rank.send(1, i, 0).await;
+                let _ = rank.recv(Some(1), i).await;
             } else {
-                let _ = rank.recv(Some(0), i);
-                rank.send(0, i, 0);
+                let _ = rank.recv(Some(0), i).await;
+                rank.send(0, i, 0).await;
             }
         }
+        rank
     })
     .expect("ping-pong deadlocked");
     res.end_time.as_secs_f64() / (2.0 * iters as f64) * 1e6
@@ -54,14 +55,15 @@ pub fn pcie_bandwidth(stack: SoftwareStack, path: NodePath, bytes: u64) -> P2pPo
     assert!(bytes > 0);
     let spec = spec_for_path(path, stack);
     let iters = 4u32;
-    let res = MpiWorld::run(&spec, move |rank| {
+    let res = MpiWorld::run(&spec, move |mut rank| async move {
         for i in 0..iters as i32 {
             if rank.rank() == 0 {
-                rank.send(1, i, bytes);
+                rank.send(1, i, bytes).await;
             } else {
-                let _ = rank.recv(Some(0), i);
+                let _ = rank.recv(Some(0), i).await;
             }
         }
+        rank
     })
     .expect("bandwidth test deadlocked");
     let time_s = res.end_time.as_secs_f64() / iters as f64;
@@ -93,13 +95,14 @@ pub fn ring_sendrecv(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
 pub fn ring_sendrecv_des(device: Device, ranks: usize, bytes: u64) -> P2pPoint {
     let spec = WorldSpec::all_on(device, ranks);
     let iters = 4u32;
-    let res = MpiWorld::run(&spec, move |rank| {
+    let res = MpiWorld::run(&spec, move |mut rank| async move {
         let p = rank.size();
         let right = (rank.rank() + 1) % p;
         let left = (rank.rank() + p - 1) % p;
         for i in 0..iters as i32 {
-            rank.sendrecv(right, left, i, bytes);
+            rank.sendrecv(right, left, i, bytes).await;
         }
+        rank
     })
     .expect("ring deadlocked");
     let time_s = res.end_time.as_secs_f64() / iters as f64;
@@ -134,11 +137,14 @@ pub fn collective_time_des(
     op: CollectiveOp,
 ) -> f64 {
     let spec = WorldSpec::all_on(device, ranks);
-    let res = MpiWorld::run(&spec, move |rank| match op {
-        CollectiveOp::Bcast => rank.bcast(0, bytes),
-        CollectiveOp::Allreduce => rank.allreduce(bytes),
-        CollectiveOp::Allgather => rank.allgather(bytes),
-        CollectiveOp::Alltoall => rank.alltoall(bytes),
+    let res = MpiWorld::run(&spec, move |mut rank| async move {
+        match op {
+            CollectiveOp::Bcast => rank.bcast(0, bytes).await,
+            CollectiveOp::Allreduce => rank.allreduce(bytes).await,
+            CollectiveOp::Allgather => rank.allgather(bytes).await,
+            CollectiveOp::Alltoall => rank.alltoall(bytes).await,
+        }
+        rank
     })
     .expect("collective deadlocked");
     res.end_time.as_secs_f64()
@@ -209,14 +215,15 @@ pub fn cluster_collective_run_plan(
 ) -> (f64, maia_sim::partition::PartitionRunStats) {
     let spec = WorldSpec::node_leaders(nodes);
     let (pre, post) = crate::fastpath::cluster_intra_phases(bytes, op);
-    let (res, stats) = MpiWorld::run_partitioned(&spec, plan, move |rank| {
-        rank.compute(pre);
+    let (res, stats) = MpiWorld::run_partitioned(&spec, plan, move |mut rank| async move {
+        rank.compute(pre).await;
         match op {
-            CollectiveOp::Allreduce => rank.allreduce(bytes),
-            CollectiveOp::Alltoall => rank.alltoall(bytes),
+            CollectiveOp::Allreduce => rank.allreduce(bytes).await,
+            CollectiveOp::Alltoall => rank.alltoall(bytes).await,
             other => panic!("cluster collectives cover allreduce and alltoall, not {other:?}"),
         }
-        rank.compute(post);
+        rank.compute(post).await;
+        rank
     })
     .expect("cluster collective deadlocked");
     (res.end_time.as_secs_f64(), stats)

@@ -73,9 +73,9 @@ impl Group {
     }
 }
 
-impl Rank<'_> {
+impl Rank {
     /// Dissemination barrier: ⌈log₂ p⌉ rounds of zero-byte exchanges.
-    pub fn barrier(&mut self) {
+    pub async fn barrier(&mut self) {
         let p = self.size();
         if p == 1 {
             return;
@@ -85,15 +85,15 @@ impl Rank<'_> {
         while dist < p {
             let dest = (self.rank() + dist) % p;
             let src = (self.rank() + p - dist) % p;
-            self.send(dest, TAG_BARRIER + k as i32, 0);
-            let _ = self.recv(Some(src), TAG_BARRIER + k as i32);
+            self.send(dest, TAG_BARRIER + k as i32, 0).await;
+            let _ = self.recv(Some(src), TAG_BARRIER + k as i32).await;
             dist <<= 1;
             k += 1;
         }
     }
 
     /// Binomial-tree broadcast of `bytes` from `root`.
-    pub fn bcast(&mut self, root: usize, bytes: u64) {
+    pub async fn bcast(&mut self, root: usize, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -104,7 +104,7 @@ impl Rank<'_> {
         while mask < p {
             if vrank & mask != 0 {
                 let src = (self.rank() + p - mask) % p;
-                let _ = self.recv(Some(src), TAG_BCAST);
+                let _ = self.recv(Some(src), TAG_BCAST).await;
                 break;
             }
             mask <<= 1;
@@ -114,7 +114,7 @@ impl Rank<'_> {
         while mask > 0 {
             if vrank + mask < p {
                 let dest = (self.rank() + mask) % p;
-                self.send(dest, TAG_BCAST, bytes);
+                self.send(dest, TAG_BCAST, bytes).await;
             }
             mask >>= 1;
         }
@@ -122,7 +122,7 @@ impl Rank<'_> {
 
     /// Binomial-tree reduction of `bytes` to `root`, costing the combine
     /// operator at every merge.
-    pub fn reduce(&mut self, root: usize, bytes: u64) {
+    pub async fn reduce(&mut self, root: usize, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -134,13 +134,13 @@ impl Rank<'_> {
                 let src_v = vrank | mask;
                 if src_v < p {
                     let src = (src_v + root) % p;
-                    let _ = self.recv(Some(src), TAG_REDUCE);
-                    self.reduce_op(bytes);
+                    let _ = self.recv(Some(src), TAG_REDUCE).await;
+                    self.reduce_op(bytes).await;
                 }
             } else {
                 let dest_v = vrank & !mask;
                 let dest = (dest_v + root) % p;
-                self.send(dest, TAG_REDUCE, bytes);
+                self.send(dest, TAG_REDUCE, bytes).await;
                 break;
             }
             mask <<= 1;
@@ -150,7 +150,7 @@ impl Rank<'_> {
     /// Allreduce by recursive doubling (MPICH's algorithm for short and
     /// medium messages). Non-power-of-two worlds fold the surplus ranks
     /// into a power-of-two subgroup first and redistribute afterwards.
-    pub fn allreduce(&mut self, bytes: u64) {
+    pub async fn allreduce(&mut self, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -162,11 +162,11 @@ impl Rank<'_> {
         // Fold: the first 2*rem ranks pair up (even sends to odd).
         let newrank: Option<usize> = if me < 2 * rem {
             if me.is_multiple_of(2) {
-                self.send(me + 1, TAG_ALLREDUCE, bytes);
+                self.send(me + 1, TAG_ALLREDUCE, bytes).await;
                 None // retires from the doubling phase
             } else {
-                let _ = self.recv(Some(me - 1), TAG_ALLREDUCE);
-                self.reduce_op(bytes);
+                let _ = self.recv(Some(me - 1), TAG_ALLREDUCE).await;
+                self.reduce_op(bytes).await;
                 Some(me / 2)
             }
         } else {
@@ -182,9 +182,9 @@ impl Rank<'_> {
                 } else {
                     partner_nr + rem
                 };
-                self.send(partner, TAG_ALLREDUCE + mask as i32, bytes);
-                let _ = self.recv(Some(partner), TAG_ALLREDUCE + mask as i32);
-                self.reduce_op(bytes);
+                self.send(partner, TAG_ALLREDUCE + mask as i32, bytes).await;
+                let _ = self.recv(Some(partner), TAG_ALLREDUCE + mask as i32).await;
+                self.reduce_op(bytes).await;
                 mask <<= 1;
             }
         }
@@ -192,26 +192,26 @@ impl Rank<'_> {
         // Unfold: odd partners return the result to the retired evens.
         if me < 2 * rem {
             if me.is_multiple_of(2) {
-                let _ = self.recv(Some(me + 1), TAG_ALLREDUCE + 1_000);
+                let _ = self.recv(Some(me + 1), TAG_ALLREDUCE + 1_000).await;
             } else {
-                self.send(me - 1, TAG_ALLREDUCE + 1_000, bytes);
+                self.send(me - 1, TAG_ALLREDUCE + 1_000, bytes).await;
             }
         }
     }
 
     /// Allgather of `bytes` contributed per rank. Bruck's algorithm for
     /// contributions ≤ [`ALLGATHER_BRUCK_MAX`], ring otherwise.
-    pub fn allgather(&mut self, bytes: u64) {
+    pub async fn allgather(&mut self, bytes: u64) {
         if bytes <= ALLGATHER_BRUCK_MAX {
-            self.allgather_bruck(bytes);
+            self.allgather_bruck(bytes).await;
         } else {
-            self.allgather_ring(bytes);
+            self.allgather_ring(bytes).await;
         }
     }
 
     /// Bruck allgather: ⌈log₂ p⌉ rounds; round k ships the 2^k blocks
     /// accumulated so far.
-    pub fn allgather_bruck(&mut self, bytes: u64) {
+    pub async fn allgather_bruck(&mut self, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -223,15 +223,15 @@ impl Rank<'_> {
             let blocks = dist.min(p - dist) as u64;
             let dest = (me + p - dist) % p;
             let src = (me + dist) % p;
-            self.send(dest, TAG_ALLGATHER + k, blocks * bytes);
-            let _ = self.recv(Some(src), TAG_ALLGATHER + k);
+            self.send(dest, TAG_ALLGATHER + k, blocks * bytes).await;
+            let _ = self.recv(Some(src), TAG_ALLGATHER + k).await;
             dist <<= 1;
             k += 1;
         }
     }
 
     /// Ring allgather: p−1 rounds, each forwarding one block.
-    pub fn allgather_ring(&mut self, bytes: u64) {
+    pub async fn allgather_ring(&mut self, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -240,8 +240,8 @@ impl Rank<'_> {
         let right = (me + 1) % p;
         let left = (me + p - 1) % p;
         for round in 0..(p - 1) as i32 {
-            self.send(right, TAG_ALLGATHER + round, bytes);
-            let _ = self.recv(Some(left), TAG_ALLGATHER + round);
+            self.send(right, TAG_ALLGATHER + round, bytes).await;
+            let _ = self.recv(Some(left), TAG_ALLGATHER + round).await;
         }
     }
 
@@ -249,7 +249,7 @@ impl Rank<'_> {
     /// incast-contention inflation that grows with the world size (every
     /// round, all p ranks target distinct peers through one shared fabric;
     /// on the Phi's ring this congests hard).
-    pub fn alltoall(&mut self, bytes: u64) {
+    pub async fn alltoall(&mut self, bytes: u64) {
         let p = self.size();
         if p == 1 {
             return;
@@ -259,14 +259,15 @@ impl Rank<'_> {
         for round in 1..p {
             let dest = (me + round) % p;
             let src = (me + p - round) % p;
-            self.send_with_factor(dest, TAG_ALLTOALL + round as i32, bytes, contention);
-            let _ = self.recv(Some(src), TAG_ALLTOALL + round as i32);
+            self.send_with_factor(dest, TAG_ALLTOALL + round as i32, bytes, contention)
+                .await;
+            let _ = self.recv(Some(src), TAG_ALLTOALL + round as i32).await;
         }
     }
 
     /// Binomial broadcast *carrying real data*: after the call every rank
     /// holds the root's `buf` contents. Timing matches [`Rank::bcast`].
-    pub fn bcast_data(&mut self, root: usize, buf: &mut Vec<f64>) {
+    pub async fn bcast_data(&mut self, root: usize, buf: &mut Vec<f64>) {
         let p = self.size();
         if p == 1 {
             return;
@@ -276,7 +277,7 @@ impl Rank<'_> {
         while mask < p {
             if vrank & mask != 0 {
                 let src = (self.rank() + p - mask) % p;
-                let (_, data) = self.recv_data(Some(src), TAG_BCAST_DATA);
+                let (_, data) = self.recv_data(Some(src), TAG_BCAST_DATA).await;
                 *buf = data;
                 break;
             }
@@ -286,8 +287,7 @@ impl Rank<'_> {
         while mask > 0 {
             if vrank + mask < p {
                 let dest = (self.rank() + mask) % p;
-                let payload = buf.clone();
-                self.send_data(dest, TAG_BCAST_DATA, &payload);
+                self.send_data(dest, TAG_BCAST_DATA, buf).await;
             }
             mask >>= 1;
         }
@@ -296,7 +296,7 @@ impl Rank<'_> {
     /// Binomial reduction with real elementwise summation: on `root`,
     /// `buf` ends up holding the sum over all ranks (deterministic — the
     /// combine tree is fixed). Other ranks' buffers are consumed.
-    pub fn reduce_sum_data(&mut self, root: usize, buf: &mut [f64]) {
+    pub async fn reduce_sum_data(&mut self, root: usize, buf: &mut [f64]) {
         let p = self.size();
         if p == 1 {
             return;
@@ -308,18 +308,17 @@ impl Rank<'_> {
                 let src_v = vrank | mask;
                 if src_v < p {
                     let src = (src_v + root) % p;
-                    let (_, data) = self.recv_data(Some(src), TAG_REDUCE_DATA);
+                    let (_, data) = self.recv_data(Some(src), TAG_REDUCE_DATA).await;
                     assert_eq!(data.len(), buf.len(), "reduce buffer length mismatch");
                     for (b, d) in buf.iter_mut().zip(&data) {
                         *b += d;
                     }
-                    self.reduce_op((buf.len() * 8) as u64);
+                    self.reduce_op((buf.len() * 8) as u64).await;
                 }
             } else {
                 let dest_v = vrank & !mask;
                 let dest = (dest_v + root) % p;
-                let payload = buf.to_vec();
-                self.send_data(dest, TAG_REDUCE_DATA, &payload);
+                self.send_data(dest, TAG_REDUCE_DATA, buf).await;
                 break;
             }
             mask <<= 1;
@@ -328,15 +327,15 @@ impl Rank<'_> {
 
     /// Allreduce with real data: reduce to rank 0 then broadcast — every
     /// rank ends with the identical elementwise sum.
-    pub fn allreduce_sum_data(&mut self, buf: &mut Vec<f64>) {
-        self.reduce_sum_data(0, buf);
-        self.bcast_data(0, buf);
+    pub async fn allreduce_sum_data(&mut self, buf: &mut Vec<f64>) {
+        self.reduce_sum_data(0, buf).await;
+        self.bcast_data(0, buf).await;
     }
 
     /// Ring allgather carrying real data: every rank contributes `local`
     /// and receives the concatenation of all contributions in rank order.
     /// Contributions may differ in length.
-    pub fn allgather_data(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
+    pub async fn allgather_data(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
         let p = self.size();
         let me = self.rank();
         let mut blocks: Vec<Option<Vec<f64>>> = vec![None; p];
@@ -350,10 +349,13 @@ impl Rank<'_> {
             // Forward the block that arrived last round (initially ours).
             let outgoing_owner = (me + p - round) % p;
             let payload = blocks[outgoing_owner]
-                .clone()
+                .as_deref()
                 .expect("block to forward is present");
-            self.send_data(right, TAG_ALLGATHER_DATA + round as i32, &payload);
-            let (_, data) = self.recv_data(Some(left), TAG_ALLGATHER_DATA + round as i32);
+            self.send_data(right, TAG_ALLGATHER_DATA + round as i32, payload)
+                .await;
+            let (_, data) = self
+                .recv_data(Some(left), TAG_ALLGATHER_DATA + round as i32)
+                .await;
             let incoming_owner = (me + p - round - 1 + p) % p;
             blocks[incoming_owner] = Some(data);
         }
@@ -368,7 +370,7 @@ impl Rank<'_> {
     ///
     /// # Panics
     /// Panics unless `blocks.len() == size`.
-    pub fn alltoall_data(&mut self, mut blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    pub async fn alltoall_data(&mut self, mut blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
         let p = self.size();
         assert_eq!(blocks.len(), p, "alltoall needs one block per rank");
         let me = self.rank();
@@ -378,15 +380,18 @@ impl Rank<'_> {
             let dest = (me + round) % p;
             let src = (me + p - round) % p;
             let payload = std::mem::take(&mut blocks[dest]);
-            self.send_data(dest, TAG_ALLTOALL_DATA + round as i32, &payload);
-            let (_, data) = self.recv_data(Some(src), TAG_ALLTOALL_DATA + round as i32);
+            self.send_data(dest, TAG_ALLTOALL_DATA + round as i32, &payload)
+                .await;
+            let (_, data) = self
+                .recv_data(Some(src), TAG_ALLTOALL_DATA + round as i32)
+                .await;
             out[src] = data;
         }
         out
     }
 
     /// Dissemination barrier over a sub-communicator.
-    pub fn barrier_group(&mut self, g: &Group) {
+    pub async fn barrier_group(&mut self, g: &Group) {
         let p = g.size();
         if p <= 1 {
             return;
@@ -397,8 +402,8 @@ impl Rank<'_> {
         while dist < p {
             let dest = g.members[(vr + dist) % p];
             let src = g.members[(vr + p - dist) % p];
-            self.send(dest, TAG_GROUP_BARRIER + k, 0);
-            let _ = self.recv(Some(src), TAG_GROUP_BARRIER + k);
+            self.send(dest, TAG_GROUP_BARRIER + k, 0).await;
+            let _ = self.recv(Some(src), TAG_GROUP_BARRIER + k).await;
             dist <<= 1;
             k += 1;
         }
@@ -406,7 +411,7 @@ impl Rank<'_> {
 
     /// Binomial broadcast over a sub-communicator (`root` is a *group*
     /// rank); carries real data.
-    pub fn bcast_data_group(&mut self, g: &Group, root: usize, buf: &mut Vec<f64>) {
+    pub async fn bcast_data_group(&mut self, g: &Group, root: usize, buf: &mut Vec<f64>) {
         let p = g.size();
         if p <= 1 {
             return;
@@ -417,7 +422,7 @@ impl Rank<'_> {
             if vr & mask != 0 {
                 let src_v = (vr + p - mask) % p;
                 let src = g.members[(src_v + root) % p];
-                let (_, data) = self.recv_data(Some(src), TAG_GROUP_BCAST);
+                let (_, data) = self.recv_data(Some(src), TAG_GROUP_BCAST).await;
                 *buf = data;
                 break;
             }
@@ -427,8 +432,7 @@ impl Rank<'_> {
         while mask > 0 {
             if vr + mask < p {
                 let dest = g.members[(vr + mask + root) % p];
-                let payload = buf.clone();
-                self.send_data(dest, TAG_GROUP_BCAST, &payload);
+                self.send_data(dest, TAG_GROUP_BCAST, buf).await;
             }
             mask >>= 1;
         }
@@ -436,7 +440,7 @@ impl Rank<'_> {
 
     /// Elementwise-sum allreduce over a sub-communicator, carrying real
     /// data (binomial reduce to group rank 0, then broadcast).
-    pub fn allreduce_sum_data_group(&mut self, g: &Group, buf: &mut Vec<f64>) {
+    pub async fn allreduce_sum_data_group(&mut self, g: &Group, buf: &mut Vec<f64>) {
         let p = g.size();
         if p <= 1 {
             return;
@@ -449,22 +453,21 @@ impl Rank<'_> {
                 let src_v = vr | mask;
                 if src_v < p {
                     let src = g.members[src_v];
-                    let (_, data) = self.recv_data(Some(src), TAG_GROUP_REDUCE);
+                    let (_, data) = self.recv_data(Some(src), TAG_GROUP_REDUCE).await;
                     assert_eq!(data.len(), buf.len(), "group reduce length mismatch");
                     for (b, d) in buf.iter_mut().zip(&data) {
                         *b += d;
                     }
-                    self.reduce_op((buf.len() * 8) as u64);
+                    self.reduce_op((buf.len() * 8) as u64).await;
                 }
             } else {
                 let dest = g.members[vr & !mask];
-                let payload = buf.to_vec();
-                self.send_data(dest, TAG_GROUP_REDUCE, &payload);
+                self.send_data(dest, TAG_GROUP_REDUCE, buf).await;
                 break;
             }
             mask <<= 1;
         }
-        self.bcast_data_group(g, 0, buf);
+        self.bcast_data_group(g, 0, buf).await;
     }
 
     /// Incast factor for [`Rank::alltoall`]: 1 + c·p, with c depending on
@@ -492,15 +495,16 @@ mod tests {
     fn collectives_complete_for_odd_sizes() {
         for p in [1usize, 2, 3, 5, 8, 13, 16] {
             let spec = WorldSpec::all_on(Device::Host, p);
-            MpiWorld::run(&spec, |rank| {
-                rank.barrier();
-                rank.bcast(0, 4096);
-                rank.reduce(0, 4096);
-                rank.allreduce(4096);
-                rank.allgather(512);
-                rank.allgather(16 * 1024);
-                rank.alltoall(1024);
-                rank.barrier();
+            MpiWorld::run(&spec, |mut rank| async move {
+                rank.barrier().await;
+                rank.bcast(0, 4096).await;
+                rank.reduce(0, 4096).await;
+                rank.allreduce(4096).await;
+                rank.allgather(512).await;
+                rank.allgather(16 * 1024).await;
+                rank.alltoall(1024).await;
+                rank.barrier().await;
+                rank
             })
             .unwrap_or_else(|e| panic!("p={p}: {e}"));
         }
@@ -513,7 +517,7 @@ mod tests {
         // multi-partition pattern.
         let q = 3usize;
         let spec = WorldSpec::all_on(Device::Host, q * q);
-        MpiWorld::run(&spec, move |rank| {
+        MpiWorld::run(&spec, move |mut rank| async move {
             let me = rank.rank();
             let (row, col) = (me / q, me % q);
             let row_group = Group::split(rank.size(), me, |r| (r / q) as u32);
@@ -523,18 +527,19 @@ mod tests {
 
             // Row allreduce: sum of column indices = 0+1+2 = 3 per row.
             let mut v = vec![col as f64];
-            rank.allreduce_sum_data_group(&row_group, &mut v);
+            rank.allreduce_sum_data_group(&row_group, &mut v).await;
             assert_eq!(v[0], 3.0);
 
             // Column bcast from the top row: everyone learns row 0's
             // payload for their column.
             let mut b = if row == 0 { vec![col as f64 * 7.0] } else { Vec::new() };
-            rank.bcast_data_group(&col_group, 0, &mut b);
+            rank.bcast_data_group(&col_group, 0, &mut b).await;
             assert_eq!(b, vec![col as f64 * 7.0]);
 
-            rank.barrier_group(&row_group);
-            rank.barrier_group(&col_group);
-            rank.barrier();
+            rank.barrier_group(&row_group).await;
+            rank.barrier_group(&col_group).await;
+            rank.barrier().await;
+            rank
         })
         .unwrap();
     }
@@ -543,13 +548,14 @@ mod tests {
     fn group_of_one_is_trivial() {
         use super::Group;
         let spec = WorldSpec::all_on(Device::Host, 3);
-        MpiWorld::run(&spec, |rank| {
+        MpiWorld::run(&spec, |mut rank| async move {
             let solo = Group::split(rank.size(), rank.rank(), |r| r as u32);
             assert_eq!(solo.size(), 1);
             let mut v = vec![1.0];
-            rank.allreduce_sum_data_group(&solo, &mut v);
+            rank.allreduce_sum_data_group(&solo, &mut v).await;
             assert_eq!(v, vec![1.0]);
-            rank.barrier_group(&solo);
+            rank.barrier_group(&solo).await;
+            rank
         })
         .unwrap();
     }
@@ -562,32 +568,36 @@ mod tests {
         let spec = WorldSpec::all_on(Device::Host, p);
         let results = Arc::new(Mutex::new(Vec::new()));
         let r2 = Arc::clone(&results);
-        MpiWorld::run(&spec, move |rank| {
-            let me = rank.rank() as f64;
-            // bcast: everyone ends with rank 3's vector.
-            let mut b = if rank.rank() == 3 { vec![1.0, 2.0, 3.0] } else { Vec::new() };
-            rank.bcast_data(3, &mut b);
-            assert_eq!(b, vec![1.0, 2.0, 3.0]);
-            // allreduce: sum of 0..p in each slot.
-            let mut s = vec![me, 2.0 * me];
-            rank.allreduce_sum_data(&mut s);
-            assert_eq!(s, vec![21.0, 42.0]);
-            // allgather with ragged blocks: rank i contributes i copies
-            // of i (rank 0 contributes an empty block).
-            let local = vec![me; rank.rank()];
-            let gathered = rank.allgather_data(&local);
-            for (owner, block) in gathered.iter().enumerate() {
-                assert_eq!(block.len(), owner);
-                assert!(block.iter().all(|&v| v == owner as f64));
+        MpiWorld::run(&spec, move |mut rank| {
+            let r2 = Arc::clone(&r2);
+            async move {
+                let me = rank.rank() as f64;
+                // bcast: everyone ends with rank 3's vector.
+                let mut b = if rank.rank() == 3 { vec![1.0, 2.0, 3.0] } else { Vec::new() };
+                rank.bcast_data(3, &mut b).await;
+                assert_eq!(b, vec![1.0, 2.0, 3.0]);
+                // allreduce: sum of 0..p in each slot.
+                let mut s = vec![me, 2.0 * me];
+                rank.allreduce_sum_data(&mut s).await;
+                assert_eq!(s, vec![21.0, 42.0]);
+                // allgather with ragged blocks: rank i contributes i copies
+                // of i (rank 0 contributes an empty block).
+                let local = vec![me; rank.rank()];
+                let gathered = rank.allgather_data(&local).await;
+                for (owner, block) in gathered.iter().enumerate() {
+                    assert_eq!(block.len(), owner);
+                    assert!(block.iter().all(|&v| v == owner as f64));
+                }
+                // alltoall: block for dest d is [me*10 + d].
+                let blocks: Vec<Vec<f64>> =
+                    (0..rank.size()).map(|d| vec![me * 10.0 + d as f64]).collect();
+                let got = rank.alltoall_data(blocks).await;
+                for (src, block) in got.iter().enumerate() {
+                    assert_eq!(block, &vec![src as f64 * 10.0 + me]);
+                }
+                r2.lock().push(rank.rank());
+                rank
             }
-            // alltoall: block for dest d is [me*10 + d].
-            let blocks: Vec<Vec<f64>> =
-                (0..rank.size()).map(|d| vec![me * 10.0 + d as f64]).collect();
-            let got = rank.alltoall_data(blocks);
-            for (src, block) in got.iter().enumerate() {
-                assert_eq!(block, &vec![src as f64 * 10.0 + me]);
-            }
-            r2.lock().push(rank.rank());
         })
         .unwrap();
         assert_eq!(results.lock().len(), p);
@@ -599,9 +609,10 @@ mod tests {
         // time than on the host, like its timing-only counterpart.
         let time_on = |dev: Device, ranks: usize| {
             let spec = WorldSpec::all_on(dev, ranks);
-            MpiWorld::run(&spec, |rank| {
+            MpiWorld::run(&spec, |mut rank| async move {
                 let mut v = vec![1.0f64; 4096];
-                rank.allreduce_sum_data(&mut v);
+                rank.allreduce_sum_data(&mut v).await;
+                rank
             })
             .unwrap()
             .end_time
@@ -617,10 +628,13 @@ mod tests {
     fn bcast_scales_logarithmically() {
         let time_for = |p: usize| {
             let spec = WorldSpec::all_on(Device::Host, p);
-            MpiWorld::run(&spec, |rank| rank.bcast(0, 1 << 20))
-                .unwrap()
-                .end_time
-                .as_secs_f64()
+            MpiWorld::run(&spec, |mut rank| async move {
+                rank.bcast(0, 1 << 20).await;
+                rank
+            })
+            .unwrap()
+            .end_time
+            .as_secs_f64()
         };
         let t2 = time_for(2);
         let t16 = time_for(16);
@@ -633,10 +647,13 @@ mod tests {
         // Figure 13: time jumps abruptly when the library leaves Bruck.
         let time_for = |bytes: u64| {
             let spec = WorldSpec::all_on(Device::Phi0, 59);
-            MpiWorld::run(&spec, move |rank| rank.allgather(bytes))
-                .unwrap()
-                .end_time
-                .as_secs_f64()
+            MpiWorld::run(&spec, move |mut rank| async move {
+                rank.allgather(bytes).await;
+                rank
+            })
+            .unwrap()
+            .end_time
+            .as_secs_f64()
         };
         let t2k = time_for(2 * 1024);
         let t4k = time_for(4 * 1024);
@@ -654,10 +671,13 @@ mod tests {
     fn allreduce_non_power_of_two_costs_more_rounds() {
         let time_for = |p: usize| {
             let spec = WorldSpec::all_on(Device::Host, p);
-            MpiWorld::run(&spec, |rank| rank.allreduce(64 * 1024))
-                .unwrap()
-                .end_time
-                .as_secs_f64()
+            MpiWorld::run(&spec, |mut rank| async move {
+                rank.allreduce(64 * 1024).await;
+                rank
+            })
+            .unwrap()
+            .end_time
+            .as_secs_f64()
         };
         // 24 ranks fold into 16 and back: more expensive than plain 16.
         assert!(time_for(24) > time_for(16));
@@ -667,10 +687,13 @@ mod tests {
     fn alltoall_grows_about_linearly_in_ranks() {
         let time_for = |p: usize| {
             let spec = WorldSpec::all_on(Device::Host, p);
-            MpiWorld::run(&spec, |rank| rank.alltoall(4 * 1024))
-                .unwrap()
-                .end_time
-                .as_secs_f64()
+            MpiWorld::run(&spec, |mut rank| async move {
+                rank.alltoall(4 * 1024).await;
+                rank
+            })
+            .unwrap()
+            .end_time
+            .as_secs_f64()
         };
         let t8 = time_for(8);
         let t16 = time_for(16);

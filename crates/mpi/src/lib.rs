@@ -1,9 +1,11 @@
 //! # maia-mpi — a simulated MPI runtime over the modeled fabrics
 //!
-//! MPI ranks are processes on the `maia-sim` discrete-event engine; rank
-//! programs are ordinary blocking Rust closures against [`Rank`], which
+//! MPI ranks are inline processes on the `maia-sim` discrete-event
+//! engine; rank programs are `async` Rust functions over [`Rank`], which
 //! offers point-to-point operations with `(source, tag)` matching and the
-//! collectives the paper benchmarks (Figures 10–14). Collectives are real
+//! collectives the paper benchmarks (Figures 10–14). Every rank runs as a
+//! poll state machine on the scheduler thread — no OS thread per rank, no
+//! handoff latency at simulated blocking points. Collectives are real
 //! algorithm implementations — binomial trees, recursive doubling, Bruck,
 //! ring, pairwise exchange — executed in virtual time over the transport
 //! model, so their scaling behaviour (including the Allgather

@@ -1,6 +1,7 @@
 //! The MPI world: ranks as simulation processes, point-to-point messaging
 //! with `(source, tag)` matching.
 
+use std::future::Future;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -10,7 +11,7 @@ use maia_sim::partition::{
     local_bus, register_global_process, Outbox, PartitionProbe, PartitionRunStats, ProbeBundle,
     RemoteMsg, Wheel,
 };
-use maia_sim::{Engine, InjectCtx, ProcCtx, SimDuration, SimError, SimTime};
+use maia_sim::{Engine, InjectCtx, SimCtx, SimDuration, SimError, SimTime};
 
 use crate::partition::{lookahead, PartitionPlan};
 use crate::placement::{RankPlacement, WorldSpec};
@@ -70,13 +71,16 @@ pub struct WorldResult {
 pub struct MpiWorld;
 
 impl MpiWorld {
-    /// Run `program` on every rank of `spec`'s world. The program is a
-    /// blocking SPMD function of the rank handle; virtual time advances
-    /// through its sends, receives, collectives and
-    /// [`Rank::compute`] calls.
-    pub fn run<F>(spec: &WorldSpec, program: F) -> Result<WorldResult, SimError>
+    /// Run `program` on every rank of `spec`'s world. The program is an
+    /// `async` SPMD function: it takes the [`Rank`] handle by value,
+    /// advances virtual time through its sends, receives, collectives and
+    /// [`Rank::compute`] calls, and returns the handle when done. Every
+    /// rank runs as an inline state machine on the engine's scheduler
+    /// thread — no OS thread per rank.
+    pub fn run<F, Fut>(spec: &WorldSpec, program: F) -> Result<WorldResult, SimError>
     where
-        F: Fn(&mut Rank) + Send + Sync + 'static,
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
     {
         Self::run_inner(spec, program, false).map(|(r, _)| r)
     }
@@ -84,23 +88,25 @@ impl MpiWorld {
     /// Like [`MpiWorld::run`], additionally returning the engine's
     /// scheduler trace (every resume/advance/block/finish of every rank,
     /// in virtual-time order) — the raw material for timeline analysis.
-    pub fn run_traced<F>(
+    pub fn run_traced<F, Fut>(
         spec: &WorldSpec,
         program: F,
     ) -> Result<(WorldResult, Vec<maia_sim::TraceRecord>), SimError>
     where
-        F: Fn(&mut Rank) + Send + Sync + 'static,
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
     {
         Self::run_inner(spec, program, true)
     }
 
-    fn run_inner<F>(
+    fn run_inner<F, Fut>(
         spec: &WorldSpec,
         program: F,
         traced: bool,
     ) -> Result<(WorldResult, Vec<maia_sim::TraceRecord>), SimError>
     where
-        F: Fn(&mut Rank) + Send + Sync + 'static,
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
     {
         spec.validate();
         let size = spec.size();
@@ -131,10 +137,10 @@ impl MpiWorld {
             let finishes = Arc::clone(&finishes);
             let stats = Arc::clone(&stats);
             let program = Arc::clone(&program);
-            engine.spawn(format!("rank-{rank_id}"), move |ctx| {
+            engine.spawn_inline(format!("rank-{rank_id}"), move |ctx| async move {
                 let started = ctx.now();
-                let mut rank = Rank {
-                    ctx,
+                let rank = Rank {
+                    ctx: ctx.clone(),
                     rank: rank_id,
                     size,
                     placements,
@@ -144,12 +150,12 @@ impl MpiWorld {
                     stats: RankStats::default(),
                     partition: None,
                 };
-                program(&mut rank);
-                finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
+                let rank = program(rank).await;
+                finishes.lock()[rank_id] = ctx.now().as_secs_f64();
                 stats.lock()[rank_id] = rank.stats;
                 // Rank-level telemetry span: the whole program, in virtual
                 // time. A no-op unless a probe factory is installed.
-                rank.ctx.emit_span(&format!("rank-{rank_id}"), started);
+                ctx.emit_span(&format!("rank-{rank_id}"), started);
             });
         }
         let (end_time, trace) = engine.run_traced()?;
@@ -173,13 +179,14 @@ impl MpiWorld {
     /// window-barrier protocol of `maia_sim::partition`, so the simulated
     /// timeline, the `WorldResult`, and the virtual-side telemetry are
     /// bit-identical no matter how many wheels carry the world.
-    pub fn run_partitioned<F>(
+    pub fn run_partitioned<F, Fut>(
         spec: &WorldSpec,
         plan: &PartitionPlan,
         program: F,
     ) -> Result<(WorldResult, PartitionRunStats), SimError>
     where
-        F: Fn(&mut Rank) + Send + Sync + 'static,
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
     {
         spec.validate();
         let size = spec.size();
@@ -242,11 +249,11 @@ impl MpiWorld {
                 let domain_of = Arc::clone(&domain_of);
                 let wheel_of_rank = Arc::clone(&wheel_of_rank);
                 let outbox = outbox.clone();
-                engine.spawn(format!("rank-{rank_id}"), move |ctx| {
+                engine.spawn_inline(format!("rank-{rank_id}"), move |ctx| async move {
                     let started = ctx.now();
                     let my_domain = domain_of[rank_id];
-                    let mut rank = Rank {
-                        ctx,
+                    let rank = Rank {
+                        ctx: ctx.clone(),
                         rank: rank_id,
                         size,
                         placements,
@@ -262,10 +269,10 @@ impl MpiWorld {
                             seq: 0,
                         }),
                     };
-                    program(&mut rank);
-                    finishes.lock()[rank_id] = rank.ctx.now().as_secs_f64();
+                    let rank = program(rank).await;
+                    finishes.lock()[rank_id] = ctx.now().as_secs_f64();
                     stats.lock()[rank_id] = rank.stats;
-                    rank.ctx.emit_span(&format!("rank-{rank_id}"), started);
+                    ctx.emit_span(&format!("rank-{rank_id}"), started);
                 });
             }
             let mailboxes = Arc::clone(&mailboxes);
@@ -299,9 +306,10 @@ impl MpiWorld {
 }
 
 /// Handle given to each rank's program: MPI-like operations in virtual
-/// time.
-pub struct Rank<'a> {
-    pub(crate) ctx: &'a mut ProcCtx,
+/// time. Owned by the program future for the lifetime of the rank, and
+/// handed back to the world when the program returns.
+pub struct Rank {
+    pub(crate) ctx: SimCtx,
     rank: usize,
     size: usize,
     placements: Arc<Vec<RankPlacement>>,
@@ -327,7 +335,7 @@ struct PartitionIo {
     seq: u64,
 }
 
-impl Rank<'_> {
+impl Rank {
     /// This rank's index (`MPI_Comm_rank`).
     pub fn rank(&self) -> usize {
         self.rank
@@ -356,17 +364,17 @@ impl Rank<'_> {
     /// Consume `dur` of virtual compute time. An armed straggler fault
     /// ([`crate::faults::set_stragglers`]) stretches this rank's phases
     /// once virtual time passes the fault's onset.
-    pub fn compute(&mut self, dur: SimDuration) {
+    pub async fn compute(&mut self, dur: SimDuration) {
         let dur =
             crate::faults::stretched_compute(self.rank as u32, self.ctx.now().as_secs_f64(), dur);
         self.stats.compute_s += dur.as_secs_f64();
-        self.ctx.advance(dur);
+        self.ctx.advance(dur).await;
     }
 
     /// Advance virtual time attributing it to communication.
-    fn comm_advance(&mut self, dur: SimDuration) {
+    async fn comm_advance(&mut self, dur: SimDuration) {
         self.stats.comm_s += dur.as_secs_f64();
-        self.ctx.advance(dur);
+        self.ctx.advance(dur).await;
     }
 
     /// The modeled one-way cost of sending `bytes` to `dest` from here.
@@ -411,7 +419,7 @@ impl Rank<'_> {
     /// Panics when `dest` is out of range or equal to the sender — MPI
     /// self-sends deadlock a blocking implementation and indicate a bug in
     /// the caller's algorithm.
-    pub fn send(&mut self, dest: usize, tag: i32, bytes: u64) {
+    pub async fn send(&mut self, dest: usize, tag: i32, bytes: u64) {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         let cost = self.message_cost(dest, bytes);
@@ -426,10 +434,10 @@ impl Rank<'_> {
             // Record at send start; the receiver still sees the message
             // only at `ready`, exactly as on the direct path below.
             self.route_remote(dest, msg);
-            self.comm_advance(cost);
+            self.comm_advance(cost).await;
         } else {
-            self.comm_advance(cost);
-            self.mailboxes[dest].send(self.ctx, msg);
+            self.comm_advance(cost).await;
+            self.mailboxes[dest].send_inline(&self.ctx, msg);
         }
     }
 
@@ -439,14 +447,14 @@ impl Rank<'_> {
     /// completes then. Compute placed between `isend` and [`Rank::wait`]
     /// overlaps the transfer — the overlap the offload/symmetric codes
     /// depend on.
-    pub fn isend(&mut self, dest: usize, tag: i32, bytes: u64) -> Request {
+    pub async fn isend(&mut self, dest: usize, tag: i32, bytes: u64) -> Request {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "self-send would never match");
         let cost = self.message_cost(dest, bytes);
         // Injection overhead: descriptor setup, ~5% of the wire time,
         // at least the software latency share.
         let inject = SimDuration::from_secs_f64(cost.as_secs_f64() * 0.05);
-        self.comm_advance(inject);
+        self.comm_advance(inject).await;
         let ready = self.ctx.now() + cost;
         let msg = Msg {
             src: self.rank,
@@ -464,30 +472,30 @@ impl Rank<'_> {
             // blocking semantics, where the two paths agree exactly.
             self.route_remote(dest, msg);
         } else {
-            self.mailboxes[dest].send(self.ctx, msg);
+            self.mailboxes[dest].send_inline(&self.ctx, msg);
         }
         Request { completion: ready }
     }
 
     /// Complete a nonblocking operation: blocks (in virtual time) until
     /// the transfer has fully drained.
-    pub fn wait(&mut self, req: Request) {
+    pub async fn wait(&mut self, req: Request) {
         let now = self.ctx.now();
         if req.completion > now {
-            self.comm_advance(req.completion.since(now));
+            self.comm_advance(req.completion.since(now)).await;
         }
     }
 
     /// Complete many requests.
-    pub fn wait_all(&mut self, reqs: impl IntoIterator<Item = Request>) {
+    pub async fn wait_all(&mut self, reqs: impl IntoIterator<Item = Request>) {
         for r in reqs {
-            self.wait(r);
+            self.wait(r).await;
         }
     }
 
     /// Blocking send carrying a real payload: transport timing uses the
     /// payload's byte size; the receiver gets the actual values.
-    pub fn send_data(&mut self, dest: usize, tag: i32, data: &[f64]) {
+    pub async fn send_data(&mut self, dest: usize, tag: i32, data: &[f64]) {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         let bytes = (data.len() * 8) as u64;
@@ -501,10 +509,10 @@ impl Rank<'_> {
         };
         if self.is_cross_domain(dest) {
             self.route_remote(dest, msg);
-            self.comm_advance(cost);
+            self.comm_advance(cost).await;
         } else {
-            self.comm_advance(cost);
-            self.mailboxes[dest].send(self.ctx, msg);
+            self.comm_advance(cost).await;
+            self.mailboxes[dest].send_inline(&self.ctx, msg);
         }
     }
 
@@ -514,8 +522,8 @@ impl Rank<'_> {
     /// Panics if the matched message carries no payload — mixing the
     /// timing-only and data-carrying APIs on one (source, tag) stream is
     /// a caller bug.
-    pub fn recv_data(&mut self, src: Option<usize>, tag: i32) -> (usize, Vec<f64>) {
-        let m = self.recv(src, tag);
+    pub async fn recv_data(&mut self, src: Option<usize>, tag: i32) -> (usize, Vec<f64>) {
+        let m = self.recv(src, tag).await;
         let data = m
             .data
             .expect("recv_data matched a message without a payload");
@@ -525,7 +533,7 @@ impl Rank<'_> {
     /// Like [`Rank::send`] but with the transport cost scaled by `factor`
     /// — used by collectives to model fabric contention (e.g. alltoall
     /// incast).
-    pub(crate) fn send_with_factor(&mut self, dest: usize, tag: i32, bytes: u64, factor: f64) {
+    pub(crate) async fn send_with_factor(&mut self, dest: usize, tag: i32, bytes: u64, factor: f64) {
         assert!(dest < self.size, "send to rank {dest} out of 0..{}", self.size);
         assert_ne!(dest, self.rank, "blocking self-send would deadlock");
         assert!(factor >= 1.0, "contention factor must not speed messages up");
@@ -540,23 +548,23 @@ impl Rank<'_> {
         };
         if self.is_cross_domain(dest) {
             self.route_remote(dest, msg);
-            self.comm_advance(cost);
+            self.comm_advance(cost).await;
         } else {
-            self.comm_advance(cost);
-            self.mailboxes[dest].send(self.ctx, msg);
+            self.comm_advance(cost).await;
+            self.mailboxes[dest].send_inline(&self.ctx, msg);
         }
     }
 
     /// Blocking receive (`MPI_Recv`). `src = None` accepts any source;
     /// `tag < 0` accepts any tag. Returns the matched message.
-    pub fn recv(&mut self, src: Option<usize>, tag: i32) -> Msg {
+    pub async fn recv(&mut self, src: Option<usize>, tag: i32) -> Msg {
         let matches = |m: &Msg| src.is_none_or(|s| s == m.src) && (tag < 0 || m.tag == tag);
         let m = if let Some(pos) = self.unexpected.iter().position(matches) {
             self.unexpected.remove(pos)
         } else {
             loop {
                 let mbox = self.mailboxes[self.rank].clone();
-                let m = mbox.recv(self.ctx);
+                let m = mbox.recv_inline(&self.ctx).await;
                 if matches(&m) {
                     break m;
                 }
@@ -566,24 +574,24 @@ impl Rank<'_> {
         // A nonblocking sender may have stamped a future delivery time.
         let now = self.ctx.now();
         if m.ready > now {
-            self.comm_advance(m.ready.since(now));
+            self.comm_advance(m.ready.since(now)).await;
         }
         m
     }
 
     /// Combined exchange (`MPI_Sendrecv`): send to `dest`, receive from
     /// `src`, overlapping as the transport allows.
-    pub fn sendrecv(&mut self, dest: usize, src: usize, tag: i32, bytes: u64) -> Msg {
-        self.send(dest, tag, bytes);
-        self.recv(Some(src), tag)
+    pub async fn sendrecv(&mut self, dest: usize, src: usize, tag: i32, bytes: u64) -> Msg {
+        self.send(dest, tag, bytes).await;
+        self.recv(Some(src), tag).await
     }
 
     /// Apply the reduction-operator cost for `bytes` on this rank's
     /// device.
-    pub fn reduce_op(&mut self, bytes: u64) {
+    pub async fn reduce_op(&mut self, bytes: u64) {
         let t = self.transport.reduce_time(self.placements[self.rank].device, bytes);
         self.stats.compute_s += t.as_secs_f64();
-        self.ctx.advance(t);
+        self.ctx.advance(t).await;
     }
 }
 
@@ -596,15 +604,16 @@ mod tests {
     #[test]
     fn two_ranks_ping_pong() {
         let spec = WorldSpec::all_on(Device::Host, 2);
-        let res = MpiWorld::run(&spec, |rank| {
+        let res = MpiWorld::run(&spec, |mut rank| async move {
             if rank.rank() == 0 {
-                rank.send(1, 7, 1024);
-                let m = rank.recv(Some(1), 7);
+                rank.send(1, 7, 1024).await;
+                let m = rank.recv(Some(1), 7).await;
                 assert_eq!(m.bytes, 1024);
             } else {
-                let m = rank.recv(Some(0), 7);
-                rank.send(0, 7, m.bytes);
+                let m = rank.recv(Some(0), 7).await;
+                rank.send(0, 7, m.bytes).await;
             }
+            rank
         })
         .unwrap();
         // Two host-internal 1 KB messages: 2 x (0.5 us + 1024/2 GB/s).
@@ -615,17 +624,18 @@ mod tests {
     #[test]
     fn tag_matching_reorders_messages() {
         let spec = WorldSpec::all_on(Device::Host, 2);
-        MpiWorld::run(&spec, |rank| {
+        MpiWorld::run(&spec, |mut rank| async move {
             if rank.rank() == 0 {
-                rank.send(1, 1, 10);
-                rank.send(1, 2, 20);
+                rank.send(1, 1, 10).await;
+                rank.send(1, 2, 20).await;
             } else {
                 // Receive in reverse tag order.
-                let m2 = rank.recv(Some(0), 2);
+                let m2 = rank.recv(Some(0), 2).await;
                 assert_eq!(m2.bytes, 20);
-                let m1 = rank.recv(Some(0), 1);
+                let m1 = rank.recv(Some(0), 1).await;
                 assert_eq!(m1.bytes, 10);
             }
+            rank
         })
         .unwrap();
     }
@@ -633,15 +643,18 @@ mod tests {
     #[test]
     fn any_source_matches_first_arrival() {
         let spec = WorldSpec::all_on(Device::Host, 3);
-        MpiWorld::run(&spec, |rank| match rank.rank() {
-            0 => {
-                let a = rank.recv(ANY_SOURCE, -1);
-                let b = rank.recv(ANY_SOURCE, -1);
-                let mut got = [a.src, b.src];
-                got.sort_unstable();
-                assert_eq!(got, [1, 2]);
+        MpiWorld::run(&spec, |mut rank| async move {
+            match rank.rank() {
+                0 => {
+                    let a = rank.recv(ANY_SOURCE, -1).await;
+                    let b = rank.recv(ANY_SOURCE, -1).await;
+                    let mut got = [a.src, b.src];
+                    got.sort_unstable();
+                    assert_eq!(got, [1, 2]);
+                }
+                _ => rank.send(0, 0, 64).await,
             }
-            _ => rank.send(0, 0, 64),
+            rank
         })
         .unwrap();
     }
@@ -653,12 +666,13 @@ mod tests {
         let p = 8;
         let spec = WorldSpec::all_on(Device::Host, p);
         let m = 1 << 20;
-        let res = MpiWorld::run(&spec, move |rank| {
+        let res = MpiWorld::run(&spec, move |mut rank| async move {
             let right = (rank.rank() + 1) % rank.size();
             let left = (rank.rank() + rank.size() - 1) % rank.size();
             for it in 0..4 {
-                rank.sendrecv(right, left, it, m);
+                rank.sendrecv(right, left, it, m).await;
             }
+            rank
         })
         .unwrap();
         let one_msg = 0.5e-6 + (1 << 20) as f64 / 2e9;
@@ -674,9 +688,13 @@ mod tests {
         let spec = WorldSpec::all_on(Device::Host, 4);
         let counter = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&counter);
-        let res = MpiWorld::run(&spec, move |rank| {
-            c2.fetch_add(1, Ordering::SeqCst);
-            rank.compute(SimDuration::from_us(rank.rank() as f64));
+        let res = MpiWorld::run(&spec, move |mut rank| {
+            let c2 = Arc::clone(&c2);
+            async move {
+                c2.fetch_add(1, Ordering::SeqCst);
+                rank.compute(SimDuration::from_us(rank.rank() as f64)).await;
+                rank
+            }
         })
         .unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 4);
@@ -687,10 +705,11 @@ mod tests {
     #[test]
     fn mismatched_recv_deadlocks_cleanly() {
         let spec = WorldSpec::all_on(Device::Host, 2);
-        let err = MpiWorld::run(&spec, |rank| {
+        let err = MpiWorld::run(&spec, |mut rank| async move {
             if rank.rank() == 1 {
-                let _ = rank.recv(Some(0), 99); // never sent
+                let _ = rank.recv(Some(0), 99).await; // never sent
             }
+            rank
         })
         .unwrap_err();
         match err {
@@ -711,28 +730,30 @@ mod nonblocking_tests {
         // Nonblocking: isend, compute overlaps the wire time => ~t.
         let m = 4 << 20;
         let spec = WorldSpec::all_on(Device::Host, 2);
-        let blocking = MpiWorld::run(&spec, move |rank| {
+        let blocking = MpiWorld::run(&spec, move |mut rank| async move {
             if rank.rank() == 0 {
                 let wire = rank.message_cost(1, m);
-                rank.send(1, 0, m);
-                rank.compute(wire);
+                rank.send(1, 0, m).await;
+                rank.compute(wire).await;
             } else {
-                let _ = rank.recv(Some(0), 0);
+                let _ = rank.recv(Some(0), 0).await;
             }
+            rank
         })
         .unwrap()
         .end_time
         .as_secs_f64();
 
-        let overlapped = MpiWorld::run(&spec, move |rank| {
+        let overlapped = MpiWorld::run(&spec, move |mut rank| async move {
             if rank.rank() == 0 {
                 let wire = rank.message_cost(1, m);
-                let req = rank.isend(1, 0, m);
-                rank.compute(wire);
-                rank.wait(req);
+                let req = rank.isend(1, 0, m).await;
+                rank.compute(wire).await;
+                rank.wait(req).await;
             } else {
-                let _ = rank.recv(Some(0), 0);
+                let _ = rank.recv(Some(0), 0).await;
             }
+            rank
         })
         .unwrap()
         .end_time
@@ -750,17 +771,18 @@ mod nonblocking_tests {
         // elapsed, even though the isend returns immediately.
         let m = 1 << 20;
         let spec = WorldSpec::all_on(Device::Host, 2);
-        let res = MpiWorld::run(&spec, move |rank| {
+        let res = MpiWorld::run(&spec, move |mut rank| async move {
             if rank.rank() == 0 {
-                let req = rank.isend(1, 0, m);
-                rank.wait(req);
+                let req = rank.isend(1, 0, m).await;
+                rank.wait(req).await;
             } else {
-                let msg = rank.recv(Some(0), 0);
+                let msg = rank.recv(Some(0), 0).await;
                 // Receiver's clock must be at least the wire time.
                 let wire = rank.message_cost(0, m).as_secs_f64();
                 assert!(rank.now_s() >= wire * 0.9, "recv returned too early");
                 assert_eq!(msg.bytes, m);
             }
+            rank
         })
         .unwrap();
         assert!(res.end_time.as_ps() > 0);
@@ -769,15 +791,17 @@ mod nonblocking_tests {
     #[test]
     fn wait_all_completes_every_request() {
         let spec = WorldSpec::all_on(Device::Host, 4);
-        MpiWorld::run(&spec, |rank| {
+        MpiWorld::run(&spec, |mut rank| async move {
             if rank.rank() == 0 {
-                let reqs: Vec<Request> = (1..rank.size())
-                    .map(|d| rank.isend(d, 9, 64 * 1024))
-                    .collect();
-                rank.wait_all(reqs);
+                let mut reqs: Vec<Request> = Vec::new();
+                for d in 1..rank.size() {
+                    reqs.push(rank.isend(d, 9, 64 * 1024).await);
+                }
+                rank.wait_all(reqs).await;
             } else {
-                let _ = rank.recv(Some(0), 9);
+                let _ = rank.recv(Some(0), 9).await;
             }
+            rank
         })
         .unwrap();
     }
@@ -785,18 +809,19 @@ mod nonblocking_tests {
     #[test]
     fn wait_after_completion_is_free() {
         let spec = WorldSpec::all_on(Device::Host, 2);
-        MpiWorld::run(&spec, |rank| {
+        MpiWorld::run(&spec, |mut rank| async move {
             if rank.rank() == 0 {
-                let req = rank.isend(1, 0, 1024);
+                let req = rank.isend(1, 0, 1024).await;
                 let wire = rank.message_cost(1, 1024);
-                rank.compute(wire);
-                rank.compute(wire);
+                rank.compute(wire).await;
+                rank.compute(wire).await;
                 let before = rank.now_s();
-                rank.wait(req); // already done
+                rank.wait(req).await; // already done
                 assert_eq!(rank.now_s(), before);
             } else {
-                let _ = rank.recv(Some(0), 0);
+                let _ = rank.recv(Some(0), 0).await;
             }
+            rank
         })
         .unwrap();
     }
@@ -810,13 +835,14 @@ mod stats_tests {
     #[test]
     fn stats_split_comm_from_compute() {
         let spec = WorldSpec::all_on(Device::Host, 2);
-        let res = MpiWorld::run(&spec, |rank| {
-            rank.compute(SimDuration::from_us(10.0));
+        let res = MpiWorld::run(&spec, |mut rank| async move {
+            rank.compute(SimDuration::from_us(10.0)).await;
             if rank.rank() == 0 {
-                rank.send(1, 0, 1 << 20);
+                rank.send(1, 0, 1 << 20).await;
             } else {
-                let _ = rank.recv(Some(0), 0);
+                let _ = rank.recv(Some(0), 0).await;
             }
+            rank
         })
         .unwrap();
         let s0 = res.rank_stats[0];
@@ -832,11 +858,12 @@ mod stats_tests {
     fn symmetric_world_is_comm_dominated() {
         use maia_interconnect::SoftwareStack;
         let spec = WorldSpec::symmetric(2, 1, SoftwareStack::PostUpdate);
-        let res = MpiWorld::run(&spec, |rank| {
-            rank.compute(SimDuration::from_us(5.0));
+        let res = MpiWorld::run(&spec, |mut rank| async move {
+            rank.compute(SimDuration::from_us(5.0)).await;
             // Just under the SCIF switch: the message stays on the slow
             // CCL-direct band, which is what dominates phi-side comm.
-            rank.allreduce(255 * 1024);
+            rank.allreduce(255 * 1024).await;
+            rank
         })
         .unwrap();
         // Ranks crossing PCIe accumulate far more communication time
@@ -864,9 +891,10 @@ mod partitioned_tests {
     ) -> (WorldResult, maia_sim::partition::PartitionRunStats) {
         let spec = WorldSpec::node_leaders(nodes);
         let plan = PartitionPlan { map: DomainMap::ByNode, partitions, fold };
-        MpiWorld::run_partitioned(&spec, &plan, |rank| {
-            rank.compute(SimDuration::from_us(3.0 + rank.rank() as f64));
-            rank.allreduce(64 * 1024);
+        MpiWorld::run_partitioned(&spec, &plan, |mut rank| async move {
+            rank.compute(SimDuration::from_us(3.0 + rank.rank() as f64)).await;
+            rank.allreduce(64 * 1024).await;
+            rank
         })
         .unwrap()
     }
@@ -899,14 +927,15 @@ mod partitioned_tests {
     fn cross_domain_payloads_survive_the_barrier() {
         let spec = WorldSpec::node_leaders(2);
         let plan = PartitionPlan::by_node(2);
-        let (res, stats) = MpiWorld::run_partitioned(&spec, &plan, |rank| {
+        let (res, stats) = MpiWorld::run_partitioned(&spec, &plan, |mut rank| async move {
             if rank.rank() == 0 {
-                rank.send_data(1, 7, &[1.5, 2.5, 3.0]);
+                rank.send_data(1, 7, &[1.5, 2.5, 3.0]).await;
             } else {
-                let (src, data) = rank.recv_data(Some(0), 7);
+                let (src, data) = rank.recv_data(Some(0), 7).await;
                 assert_eq!(src, 0);
                 assert_eq!(data, vec![1.5, 2.5, 3.0]);
             }
+            rank
         })
         .unwrap();
         assert!(res.end_time.as_ps() > 0);
@@ -918,9 +947,10 @@ mod partitioned_tests {
         // A single-node world has one domain: the partition layer must
         // reproduce MpiWorld::run bit-for-bit (nothing ever crosses).
         let spec = WorldSpec::all_on(maia_arch::Device::Host, 4);
-        let program = |rank: &mut Rank| {
-            rank.compute(SimDuration::from_us(2.0));
-            rank.allreduce(4096);
+        let program = |mut rank: Rank| async move {
+            rank.compute(SimDuration::from_us(2.0)).await;
+            rank.allreduce(4096).await;
+            rank
         };
         let plain = MpiWorld::run(&spec, program).unwrap();
         let (part, stats) =
@@ -934,10 +964,11 @@ mod partitioned_tests {
     #[test]
     fn partitioned_deadlock_is_reported() {
         let spec = WorldSpec::node_leaders(2);
-        let err = MpiWorld::run_partitioned(&spec, &PartitionPlan::by_node(2), |rank| {
+        let err = MpiWorld::run_partitioned(&spec, &PartitionPlan::by_node(2), |mut rank| async move {
             if rank.rank() == 1 {
-                let _ = rank.recv(Some(0), 99); // never sent
+                let _ = rank.recv(Some(0), 99).await; // never sent
             }
+            rank
         })
         .unwrap_err();
         match err {
@@ -957,9 +988,10 @@ mod traced_tests {
     #[test]
     fn traced_run_exposes_the_schedule() {
         let spec = WorldSpec::all_on(Device::Host, 3);
-        let (res, trace) = MpiWorld::run_traced(&spec, |rank| {
-            rank.barrier();
-            rank.bcast(0, 4096);
+        let (res, trace) = MpiWorld::run_traced(&spec, |mut rank| async move {
+            rank.barrier().await;
+            rank.bcast(0, 4096).await;
+            rank
         })
         .unwrap();
         assert!(res.end_time.as_ps() > 0);

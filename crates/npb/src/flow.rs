@@ -95,15 +95,27 @@ impl State5 {
     pub fn rotate(&self, team: &Team) -> State5 {
         let n = self.n;
         let mut out = State5::zeros(n);
+        // Pure data movement: walk the output sequentially, stepping the
+        // source index incrementally instead of div/mod per element.
+        // (i',j',k') = (old j, old k, old i), so consecutive output
+        // cells read with stride n·NVAR through the source.
         team.parallel_chunks(&mut out.data, |start, chunk| {
-            for (off, v) in chunk.iter_mut().enumerate() {
-                let flat = start + off;
+            let mut pos = 0usize;
+            let end = chunk.len();
+            let mut flat = start;
+            while pos < end {
                 let m = flat % NVAR;
                 let cell = flat / NVAR;
                 let ip = cell % n; // = old j
                 let jp = (cell / n) % n; // = old k
                 let kp = cell / (n * n); // = old i
-                *v = self.data[((jp * n + ip) * n + kp) * NVAR + m];
+                // Elements of one output cell are contiguous in both
+                // buffers; copy up to the cell boundary.
+                let src = ((jp * n + ip) * n + kp) * NVAR + m;
+                let take = (NVAR - m).min(end - pos);
+                chunk[pos..pos + take].copy_from_slice(&self.data[src..src + take]);
+                pos += take;
+                flat += take;
             }
         });
         out
@@ -168,18 +180,98 @@ pub fn apply_operator(u: &State5, i: usize, j: usize, k: usize, m: usize) -> f64
     lap + conv + couple + 0.5 * c
 }
 
+/// [`apply_operator`] for a point whose full 6-neighborhood is in
+/// bounds: the same arithmetic in the same order, with the boundary
+/// checks of [`State5::at`] replaced by direct strided loads. Kept
+/// bit-identical to the checked path — `residual` dispatches on
+/// position, and goldens depend on the results matching exactly.
+#[inline]
+fn apply_operator_interior(u: &State5, flat: usize, m: usize) -> f64 {
+    let n = u.n;
+    let (dx, dy, dz) = (NVAR, n * NVAR, n * n * NVAR);
+    let d = &u.data;
+    let c = d[flat];
+    let lap = 6.0 * c
+        - d[flat - dx]
+        - d[flat + dx]
+        - d[flat - dy]
+        - d[flat + dy]
+        - d[flat - dz]
+        - d[flat + dz];
+    let conv = CONVECT
+        * ((d[flat + dx] - d[flat - dx])
+            + (d[flat + dy] - d[flat - dy])
+            + (d[flat + dz] - d[flat - dz]))
+        / 2.0;
+    let mut couple = 0.0;
+    let base = flat - m;
+    for (l, row) in COUPLING[m].iter().enumerate() {
+        couple += row * d[base + l];
+    }
+    lap + conv + couple + 0.5 * c
+}
+
+/// [`apply_operator`] for a boundary point: in-bounds neighbors load
+/// directly, out-of-bounds ones contribute the same literal `0.0` the
+/// Dirichlet-checked [`State5::at`] would return. Same operations in
+/// the same order as the checked path — bit-identical.
+#[inline]
+fn apply_operator_edge(u: &State5, flat: usize, i: usize, j: usize, k: usize, m: usize) -> f64 {
+    let n = u.n;
+    let (dx, dy, dz) = (NVAR, n * NVAR, n * n * NVAR);
+    let d = &u.data;
+    let xm = if i > 0 { d[flat - dx] } else { 0.0 };
+    let xp = if i + 1 < n { d[flat + dx] } else { 0.0 };
+    let ym = if j > 0 { d[flat - dy] } else { 0.0 };
+    let yp = if j + 1 < n { d[flat + dy] } else { 0.0 };
+    let zm = if k > 0 { d[flat - dz] } else { 0.0 };
+    let zp = if k + 1 < n { d[flat + dz] } else { 0.0 };
+    let c = d[flat];
+    let lap = 6.0 * c - xm - xp - ym - yp - zm - zp;
+    let conv = CONVECT * ((xp - xm) + (yp - ym) + (zp - zm)) / 2.0;
+    let mut couple = 0.0;
+    let base = flat - m;
+    for (l, row) in COUPLING[m].iter().enumerate() {
+        couple += row * d[base + l];
+    }
+    lap + conv + couple + 0.5 * c
+}
+
 /// Residual `r = f − A u`, work-shared.
 pub fn residual(team: &Team, u: &State5, f: &State5, r: &mut State5) {
     let n = u.n;
     team.parallel_chunks(&mut r.data, |start, chunk| {
-        for (off, v) in chunk.iter_mut().enumerate() {
-            let flat = start + off;
-            let m = flat % NVAR;
-            let cell = flat / NVAR;
-            let i = cell % n;
-            let j = (cell / n) % n;
-            let k = cell / (n * n);
-            *v = f.data[flat] - apply_operator(u, i, j, k, m);
+        // Decompose the chunk's first flat index once, then step
+        // (m, i, j, k) incrementally — the div/mod per element would
+        // otherwise dominate the stencil itself at small n.
+        let mut m = start % NVAR;
+        let cell = start / NVAR;
+        let mut i = cell % n;
+        let mut j = (cell / n) % n;
+        let mut k = cell / (n * n);
+        for (flat, v) in (start..).zip(chunk.iter_mut()) {
+            let interior = (1..n - 1).contains(&i)
+                && (1..n - 1).contains(&j)
+                && (1..n - 1).contains(&k);
+            *v = f.data[flat]
+                - if interior {
+                    apply_operator_interior(u, flat, m)
+                } else {
+                    apply_operator_edge(u, flat, i, j, k, m)
+                };
+            m += 1;
+            if m == NVAR {
+                m = 0;
+                i += 1;
+                if i == n {
+                    i = 0;
+                    j += 1;
+                    if j == n {
+                        j = 0;
+                        k += 1;
+                    }
+                }
+            }
         }
     });
 }

@@ -24,7 +24,6 @@ use parking_lot::Mutex;
 use maia_mpi::{MpiWorld, Rank, WorldSpec};
 use maia_sim::SimDuration;
 
-use crate::cg::{make_matrix, SparseMatrix};
 use crate::ep::{run_batch, EpResult};
 use crate::ft::{fft_line, Complex, Field};
 
@@ -58,7 +57,9 @@ pub fn ep_mpi(log2_pairs: u32, spec: &WorldSpec) -> MpiRun<EpResult> {
     let out: Arc<Mutex<Option<EpResult>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
 
-    let res = MpiWorld::run(spec, move |rank| {
+    let res = MpiWorld::run(spec, move |mut rank| {
+        let out2 = Arc::clone(&out2);
+        async move {
         let me = rank.rank() as u64;
         let p = rank.size() as u64;
         let mut local = EpResult {
@@ -81,13 +82,13 @@ pub fn ep_mpi(log2_pairs: u32, spec: &WorldSpec) -> MpiRun<EpResult> {
             k += p;
         }
         // ~60 flops per generated pair.
-        let t = flop_cost(rank, local.pairs as f64 * 60.0);
-        rank.compute(t);
+        let t = flop_cost(&rank, local.pairs as f64 * 60.0);
+        rank.compute(t).await;
 
         // Pack into f64s (counts < 2^53, exact) and reduce.
         let mut buf = vec![local.sx, local.sy, local.accepted as f64, local.pairs as f64];
         buf.extend(local.q.iter().map(|&c| c as f64));
-        rank.allreduce_sum_data(&mut buf);
+        rank.allreduce_sum_data(&mut buf).await;
         if rank.rank() == 0 {
             let mut q = [0u64; 10];
             for (i, qi) in q.iter_mut().enumerate() {
@@ -100,6 +101,8 @@ pub fn ep_mpi(log2_pairs: u32, spec: &WorldSpec) -> MpiRun<EpResult> {
                 pairs: buf[3] as u64,
                 q,
             });
+        }
+        rank
         }
     })
     .expect("EP world deadlocked");
@@ -122,11 +125,14 @@ pub fn cg_mpi(
 ) -> MpiRun<f64> {
     let out: Arc<Mutex<Option<f64>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
-    let res = MpiWorld::run(spec, move |rank| {
+    let res = MpiWorld::run(spec, move |mut rank| {
+        let out2 = Arc::clone(&out2);
+        async move {
         let p = rank.size();
         let me = rank.rank();
         // Deterministic replicated build; each rank uses only its rows.
-        let a: SparseMatrix = make_matrix(n, nz_per_row, crate::ep::SEED);
+        // The cached Arc stands in for every rank's identical local copy.
+        let a = crate::cg::make_matrix_cached(n, nz_per_row, crate::ep::SEED);
         let lo = n * me / p;
         let hi = n * (me + 1) / p;
 
@@ -154,16 +160,16 @@ pub fn cg_mpi(
             let mut pfull = x.clone();
             let mut rho = {
                 let mut b = vec![dot_local(&rl, &rl)];
-                rank.allreduce_sum_data(&mut b);
+                rank.allreduce_sum_data(&mut b).await;
                 b[0]
             };
             let mut ql = Vec::with_capacity(hi - lo);
             for _ in 0..25 {
                 spmv_rows(&pfull, &mut ql);
-                rank.compute(flop_cost(rank, 2.0 * nnz_local as f64));
+                rank.compute(flop_cost(&rank, 2.0 * nnz_local as f64)).await;
                 let pq = {
                     let mut b = vec![dot_local(&pfull[lo..hi], &ql)];
-                    rank.allreduce_sum_data(&mut b);
+                    rank.allreduce_sum_data(&mut b).await;
                     b[0]
                 };
                 let alpha = rho / pq;
@@ -173,7 +179,7 @@ pub fn cg_mpi(
                 }
                 let rho_new = {
                     let mut b = vec![dot_local(&rl, &rl)];
-                    rank.allreduce_sum_data(&mut b);
+                    rank.allreduce_sum_data(&mut b).await;
                     b[0]
                 };
                 let beta = rho_new / rho;
@@ -182,23 +188,25 @@ pub fn cg_mpi(
                     .map(|i| rl[i] + beta * pfull[lo + i])
                     .collect();
                 // Re-replicate the direction vector.
-                let blocks = rank.allgather_data(&pl);
+                let blocks = rank.allgather_data(&pl).await;
                 pfull = blocks.concat();
             }
             // zeta = shift + 1 / (x . z), then x = z / ||z||.
             let xz_zz = {
                 let mut b = vec![dot_local(&x[lo..hi], &zl), dot_local(&zl, &zl)];
-                rank.allreduce_sum_data(&mut b);
+                rank.allreduce_sum_data(&mut b).await;
                 b
             };
             zeta = shift + 1.0 / xz_zz[0];
             let norm = xz_zz[1].sqrt();
             let xl: Vec<f64> = zl.iter().map(|v| v / norm).collect();
-            let blocks = rank.allgather_data(&xl);
+            let blocks = rank.allgather_data(&xl).await;
             x = blocks.concat();
         }
         if me == 0 {
             *out2.lock() = Some(zeta);
+        }
+        rank
         }
     })
     .expect("CG world deadlocked");
@@ -218,7 +226,9 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
     let out: Arc<Mutex<Option<Complex>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
 
-    let res = MpiWorld::run(spec, move |rank| {
+    let res = MpiWorld::run(spec, move |mut rank| {
+        let out2 = Arc::clone(&out2);
+        async move {
         let me = rank.rank();
         let zloc = nz / p;
         let z0 = me * zloc;
@@ -245,9 +255,10 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
             }
         }
         rank.compute(flop_cost(
-            rank,
+            &rank,
             5.0 * (zloc * nx * ny) as f64 * ((nx * ny) as f64).log2(),
-        ));
+        ))
+        .await;
 
         // Transpose x<->z: block for destination d holds x in d's range.
         let xloc = nx / p;
@@ -266,7 +277,7 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
                 b
             })
             .collect();
-        let got = rank.alltoall_data(blocks);
+        let got = rank.alltoall_data(blocks).await;
 
         // Reassemble as x-pencils: for each (i_local, j), a full z line.
         let mut zline = vec![Complex::ZERO; nz];
@@ -293,9 +304,10 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
             }
         }
         rank.compute(flop_cost(
-            rank,
+            &rank,
             5.0 * (xloc * ny * nz) as f64 * (nz as f64).log2(),
-        ));
+        ))
+        .await;
 
         // Checksum over the same strided samples as Field::checksum,
         // each contributed by the rank owning that x index.
@@ -309,9 +321,11 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
             }
         }
         let mut buf = vec![checksum_acc.re, checksum_acc.im];
-        rank.allreduce_sum_data(&mut buf);
+        rank.allreduce_sum_data(&mut buf).await;
         if me == 0 {
             *out2.lock() = Some(Complex::new(buf[0] / 1024.0, buf[1] / 1024.0));
+        }
+        rank
         }
     })
     .expect("FT world deadlocked");
@@ -328,7 +342,9 @@ pub fn ft_mpi(nx: usize, ny: usize, nz: usize, spec: &WorldSpec) -> MpiRun<Compl
 pub fn is_mpi(log2_n: u32, log2_max: u32, spec: &WorldSpec) -> MpiRun<Vec<u32>> {
     let out: Arc<Mutex<Option<Vec<u32>>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
-    let res = MpiWorld::run(spec, move |rank| {
+    let res = MpiWorld::run(spec, move |mut rank| {
+        let out2 = Arc::clone(&out2);
+        async move {
         let p = rank.size();
         let me = rank.rank();
         let keys = crate::is::generate_keys(log2_n, log2_max, crate::ep::SEED);
@@ -339,8 +355,8 @@ pub fn is_mpi(log2_n: u32, log2_max: u32, spec: &WorldSpec) -> MpiRun<Vec<u32>> 
         for &k in &keys[lo..hi] {
             histo[k as usize] += 1.0;
         }
-        rank.compute(flop_cost(rank, (hi - lo) as f64 * 4.0));
-        rank.allreduce_sum_data(&mut histo);
+        rank.compute(flop_cost(&rank, (hi - lo) as f64 * 4.0)).await;
+        rank.allreduce_sum_data(&mut histo).await;
         if me == 0 {
             let mut sorted = Vec::with_capacity(keys.len());
             for (key, &count) in histo.iter().enumerate() {
@@ -348,6 +364,8 @@ pub fn is_mpi(log2_n: u32, log2_max: u32, spec: &WorldSpec) -> MpiRun<Vec<u32>> 
             }
             crate::is::verify(&keys, &sorted, log2_max);
             *out2.lock() = Some(sorted);
+        }
+        rank
         }
     })
     .expect("IS world deadlocked");

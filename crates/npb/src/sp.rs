@@ -30,44 +30,96 @@ pub fn penta_coeffs() -> (f64, f64, f64, f64, f64) {
     (a, b, c, d, e)
 }
 
-/// Solve one constant-coefficient pentadiagonal system in place.
-/// Diagonal dominance of [`penta_coeffs`] makes pivoting unnecessary.
-pub fn solve_penta(coeffs: (f64, f64, f64, f64, f64), rhs: &mut [f64]) {
-    let (a, b, c, d, e) = coeffs;
-    let n = rhs.len();
-    assert!(n >= 3, "pentadiagonal line too short");
-    // Working bands: sub2 is eliminated on the fly; store the evolving
-    // main/super bands per row.
-    let mut diag = vec![c; n];
-    let mut sup1 = vec![d; n];
-    let sup2 = vec![e; n];
-    // Row i has sub-bands: a (i-2), b' (i-1) — b' changes as rows above
-    // are eliminated.
-    let mut sub1 = vec![b; n];
-    for i in 1..n {
-        // Eliminate sub1[i] using row i-1.
-        let f = sub1[i] / diag[i - 1];
-        diag[i] -= f * sup1[i - 1];
-        sup1[i] -= f * sup2[i - 1];
-        rhs[i] -= f * rhs[i - 1];
-        // Eliminate the second sub-band of row i+1 using row i-1.
-        if i + 1 < n {
-            let g = a / diag[i - 1];
-            sub1[i + 1] -= g * sup1[i - 1];
-            // The remaining effect on the diagonal of row i+1 from the
-            // second superdiagonal of row i-1:
-            diag[i + 1] -= g * sup2[i - 1];
-            rhs[i + 1] -= g * rhs[i - 1];
+/// The rhs-independent part of the pentadiagonal elimination: the row
+/// multipliers and the post-elimination main/first-super bands. The
+/// system matrix is fully determined by `(coeffs, n)`, so one factor
+/// serves every line of a sweep; the second superdiagonal is never
+/// touched by the elimination and stays the scalar `e`.
+struct PentaFactor {
+    n: usize,
+    coeffs: (f64, f64, f64, f64, f64),
+    /// `(f, g)` multipliers per row `i` in `1..n` (`g` unused when
+    /// `i + 1 == n`).
+    fg: Vec<(f64, f64)>,
+    diag: Vec<f64>,
+    sup1: Vec<f64>,
+    e: f64,
+}
+
+impl PentaFactor {
+    fn new(coeffs: (f64, f64, f64, f64, f64), n: usize) -> PentaFactor {
+        let (a, b, c, d, e) = coeffs;
+        let mut diag = vec![c; n];
+        let mut sup1 = vec![d; n];
+        // Row i has sub-bands: a (i-2), b' (i-1) — b' changes as rows
+        // above are eliminated.
+        let mut sub1 = vec![b; n];
+        let mut fg = vec![(0.0, 0.0); n];
+        for i in 1..n {
+            // Eliminate sub1[i] using row i-1.
+            let f = sub1[i] / diag[i - 1];
+            diag[i] -= f * sup1[i - 1];
+            sup1[i] -= f * e;
+            let mut g = 0.0;
+            // Eliminate the second sub-band of row i+1 using row i-1.
+            if i + 1 < n {
+                g = a / diag[i - 1];
+                sub1[i + 1] -= g * sup1[i - 1];
+                // The remaining effect on the diagonal of row i+1 from
+                // the second superdiagonal of row i-1:
+                diag[i + 1] -= g * e;
+            }
+            fg[i] = (f, g);
+        }
+        PentaFactor { n, coeffs, fg, diag, sup1, e }
+    }
+
+    /// Apply the factored elimination to one right-hand side. The rhs
+    /// updates are the same operations in the same order as the original
+    /// fused elimination, so results are bit-identical.
+    fn solve(&self, rhs: &mut [f64]) {
+        let n = self.n;
+        for i in 1..n {
+            let (f, g) = self.fg[i];
+            rhs[i] -= f * rhs[i - 1];
+            if i + 1 < n {
+                rhs[i + 1] -= g * rhs[i - 1];
+            }
+        }
+        // Back substitution.
+        rhs[n - 1] /= self.diag[n - 1];
+        if n >= 2 {
+            rhs[n - 2] = (rhs[n - 2] - self.sup1[n - 2] * rhs[n - 1]) / self.diag[n - 2];
+        }
+        for i in (0..n.saturating_sub(2)).rev() {
+            rhs[i] =
+                (rhs[i] - self.sup1[i] * rhs[i + 1] - self.e * rhs[i + 2]) / self.diag[i];
         }
     }
-    // Back substitution.
-    rhs[n - 1] /= diag[n - 1];
-    if n >= 2 {
-        rhs[n - 2] = (rhs[n - 2] - sup1[n - 2] * rhs[n - 1]) / diag[n - 2];
+}
+
+/// Solve one constant-coefficient pentadiagonal system in place.
+/// Diagonal dominance of [`penta_coeffs`] makes pivoting unnecessary.
+/// The factorization is cached per thread — a sweep solves thousands of
+/// lines against the same matrix.
+pub fn solve_penta(coeffs: (f64, f64, f64, f64, f64), rhs: &mut [f64]) {
+    let n = rhs.len();
+    assert!(n >= 3, "pentadiagonal line too short");
+    thread_local! {
+        static FACTOR: std::cell::RefCell<Option<PentaFactor>> =
+            const { std::cell::RefCell::new(None) };
     }
-    for i in (0..n.saturating_sub(2)).rev() {
-        rhs[i] = (rhs[i] - sup1[i] * rhs[i + 1] - sup2[i] * rhs[i + 2]) / diag[i];
-    }
+    FACTOR.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let stale = match slot.as_ref() {
+            Some(fac) => fac.n != n || fac.coeffs != coeffs,
+            None => true,
+        };
+        if stale {
+            *slot = Some(PentaFactor::new(coeffs, n));
+        }
+        slot.as_ref().expect("factor just ensured").solve(rhs);
+    });
 }
 
 /// One sweep: solve the pentadiagonal factor along every x-line, for

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::{InjectCtx, ProcCtx, ProcessId};
+use crate::engine::{InjectCtx, ProcCtx, ProcessId, SimCtx};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -89,6 +89,34 @@ impl<T: Send> SimChannel<T> {
                 inner.waiters.push_back(ctx.pid());
             }
             ctx.block();
+            // On wake-up the message may have been taken by a receiver that
+            // was scheduled earlier in the same instant; loop and re-check.
+        }
+    }
+
+    /// [`SimChannel::send`] for inline (state-machine) processes.
+    /// Enqueues a message and wakes the longest-waiting receiver, if any.
+    /// Takes zero virtual time and never suspends, so it is not `async`.
+    pub fn send_inline(&self, ctx: &SimCtx, value: T) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(value);
+        if let Some(pid) = inner.waiters.pop_front() {
+            ctx.wake(pid);
+        }
+    }
+
+    /// [`SimChannel::recv`] for inline (state-machine) processes: dequeue
+    /// a message, suspending in virtual time until one is available.
+    pub async fn recv_inline(&self, ctx: &SimCtx) -> T {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return v;
+                }
+                inner.waiters.push_back(ctx.pid());
+            }
+            ctx.block().await;
             // On wake-up the message may have been taken by a receiver that
             // was scheduled earlier in the same instant; loop and re-check.
         }

@@ -1,45 +1,85 @@
 //! The conservative process-oriented simulation engine.
 //!
-//! Each simulated process runs on its own OS thread (drawn from a reusable
-//! worker-thread pool, so short-lived worlds do not pay per-rank thread
-//! creation), but the scheduler
-//! enforces strict one-at-a-time execution: it resumes exactly one process,
-//! waits for that process to yield (by advancing time, blocking, or
-//! finishing), and only then picks the next event. Events are totally
-//! ordered by `(virtual time, sequence number)`, so simulations are
+//! The scheduler enforces strict one-at-a-time execution: it resumes
+//! exactly one process, waits for that process to yield (by advancing
+//! time, blocking, or finishing), and only then picks the next event.
+//! Events are totally ordered by `(virtual time, sequence number)` in an
+//! arena-backed timer wheel ([`crate::wheel`]), so simulations are
 //! deterministic regardless of OS thread scheduling.
 //!
-//! Processes written against [`ProcCtx`] look like ordinary blocking code;
-//! the virtual clock only moves via [`ProcCtx::advance`] and the wake-ups
-//! triggered through channels and resources.
+//! Processes come in two flavours:
+//!
+//! * **Inline state machines** ([`Engine::spawn_inline`]) — `async` bodies
+//!   written against [`SimCtx`] whose only awaited futures are
+//!   [`SimCtx::advance`] and the channel/resource waits built on
+//!   [`SimCtx::block`]. The scheduler polls them directly on its own
+//!   thread: no channel handoff, no park/unpark, no thread pool. This is
+//!   the hot path; all MPI rank bodies and scheduled faults use it.
+//! * **Pooled threads** ([`Engine::spawn`]) — arbitrary blocking closures
+//!   written against [`ProcCtx`], each running on a reusable worker
+//!   thread with a rendezvous channel per yield. This path supports code
+//!   that cannot enumerate its blocking points (and the fail-soft tests
+//!   that rely on real stack unwinding).
+//!
+//! Both flavours share one event wheel, one wake list, and one
+//! trace/probe pipeline; scheduling order — and therefore every golden
+//! output — is identical whichever flavour a process uses.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
+use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Once};
+use std::task::{Context, Poll, Waker};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use parking_lot::Mutex;
 
-use crate::probe::Probe;
+use crate::probe::{Probe, SchedStats};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::EventWheel;
 
 /// Identifier of a simulated process within one [`Engine`].
+///
+/// Carries the engine's epoch alongside the dense slot index: a stale id
+/// that outlives its engine (e.g. parked in a channel waiter list shared
+/// with a later world) can never alias a recycled slot of a newer engine
+/// (the ABA guard in `drain_wakes`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ProcessId(pub(crate) usize);
+pub struct ProcessId {
+    slot: u32,
+    epoch: u32,
+}
+
+/// Monotone engine-construction counter backing the [`ProcessId`] ABA
+/// guard. Starts at 1 so epoch 0 is reserved for probe-only ids built via
+/// [`ProcessId::from_index`].
+static ENGINE_EPOCH: AtomicU32 = AtomicU32::new(1);
 
 impl ProcessId {
     /// Dense index of this process within its engine (spawn order).
     pub fn index(&self) -> usize {
-        self.0
+        self.slot as usize
+    }
+
+    /// A probe-facing id carrying only a dense index (epoch 0, which no
+    /// engine ever uses). The partition layer builds these to remap
+    /// wheel-local pids onto the global rank space; they are consumed by
+    /// probes via [`ProcessId::index`] and must never be fed back into an
+    /// engine wake list.
+    pub(crate) fn from_index(index: usize) -> ProcessId {
+        ProcessId {
+            slot: index as u32,
+            epoch: 0,
+        }
     }
 }
 
 impl fmt::Display for ProcessId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "P{}", self.0)
+        write!(f, "P{}", self.slot)
     }
 }
 
@@ -81,12 +121,13 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Sent by the scheduler to resume a process at a given virtual time.
+/// Sent by the scheduler to resume a pooled-thread process at a given
+/// virtual time.
 struct Resume {
     now: SimTime,
 }
 
-/// Sent by a process thread back to the scheduler when it yields.
+/// Sent by a pooled process thread back to the scheduler when it yields.
 enum YieldMsg {
     /// The process consumed `dur` of virtual time and wants to continue.
     Advance { pid: ProcessId, dur: SimDuration },
@@ -97,6 +138,16 @@ enum YieldMsg {
     Finished { pid: ProcessId },
     /// The process closure panicked.
     Panicked { pid: ProcessId, message: String },
+}
+
+/// How one scheduler step of a process ended — the common currency of the
+/// inline and pooled-thread paths, applied by a single epilogue so trace
+/// records, probe callbacks, and requeueing are identical for both.
+enum Outcome {
+    Advanced(SimDuration),
+    Blocked,
+    Finished,
+    Panicked(String),
 }
 
 /// Target of a queued event: a process resume, or a scheduled injection
@@ -120,7 +171,7 @@ pub(crate) struct Shared {
     /// runs, deferring the wake to yield time is exact.
     wakes: Mutex<Vec<ProcessId>>,
     /// Telemetry probe captured at engine construction, reachable from
-    /// process threads for explicit span annotations.
+    /// process bodies for explicit span annotations.
     probe: Option<Arc<dyn Probe>>,
 }
 
@@ -142,7 +193,7 @@ fn install_quiet_shutdown_hook() {
     });
 }
 
-/// Execution context handed to every simulated process.
+/// Execution context handed to every pooled-thread simulated process.
 ///
 /// All interaction with virtual time flows through this handle. It is
 /// deliberately `!Clone`: a process has exactly one identity on the clock.
@@ -204,6 +255,134 @@ impl ProcCtx {
     }
 }
 
+/// What the currently polled inline process asked the scheduler to do.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Returned `Poll::Pending` without touching a simulation future —
+    /// i.e. it awaited something the scheduler cannot drive.
+    None,
+    Advance(SimDuration),
+    Block,
+}
+
+/// Per-scheduler-thread scratch cell connecting an inline process being
+/// polled to its engine. Written by the scheduler immediately before each
+/// poll and read back immediately after, so nesting engines on one thread
+/// (or many engines on many threads) cannot interleave.
+#[derive(Clone, Copy)]
+struct InlineScratch {
+    now_ps: u64,
+    pending: Pending,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::Cell<InlineScratch> =
+        const { std::cell::Cell::new(InlineScratch { now_ps: 0, pending: Pending::None }) };
+}
+
+/// Leaf future of [`SimCtx::advance`]: first poll files the advance with
+/// the scheduler and parks; the resumed second poll completes.
+#[must_use = "simulation futures do nothing unless awaited"]
+pub struct AdvanceFut {
+    dur: SimDuration,
+    armed: bool,
+}
+
+impl Future for AdvanceFut {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.armed {
+            return Poll::Ready(());
+        }
+        this.armed = true;
+        SCRATCH.with(|s| {
+            let mut v = s.get();
+            v.pending = Pending::Advance(this.dur);
+            s.set(v);
+        });
+        Poll::Pending
+    }
+}
+
+/// Leaf future of [`SimCtx::block`]: parks until another process (or an
+/// injection) wakes this pid.
+#[must_use = "simulation futures do nothing unless awaited"]
+pub struct BlockFut {
+    armed: bool,
+}
+
+impl Future for BlockFut {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if this.armed {
+            return Poll::Ready(());
+        }
+        this.armed = true;
+        SCRATCH.with(|s| {
+            let mut v = s.get();
+            v.pending = Pending::Block;
+            s.set(v);
+        });
+        Poll::Pending
+    }
+}
+
+/// Execution context handed to inline (state-machine) simulated processes
+/// — the `async` counterpart of [`ProcCtx`].
+///
+/// Cloneable so rank programs can stash it in helper structs; all clones
+/// share the process identity. The only futures an inline body may await
+/// are the ones minted here (and combinators that poll them one at a
+/// time, sequentially): the scheduler polls with a no-op waker and reads
+/// the requested transition out of thread-local scratch, so awaiting any
+/// foreign future is reported as a process error, not silently dropped.
+#[derive(Clone)]
+pub struct SimCtx {
+    pid: ProcessId,
+    shared: Arc<Shared>,
+}
+
+impl SimCtx {
+    /// Identifier of this process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current virtual time. Only meaningful while the process is being
+    /// polled (which is the only time inline process code runs).
+    pub fn now(&self) -> SimTime {
+        SimTime(SCRATCH.with(|s| s.get()).now_ps)
+    }
+
+    /// Consume `dur` of virtual time. Other processes may run in the
+    /// interim. `advance(ZERO)` still yields to the scheduler once.
+    pub fn advance(&self, dur: SimDuration) -> AdvanceFut {
+        AdvanceFut { dur, armed: false }
+    }
+
+    /// Park until another process wakes this one (used by channels and
+    /// resources). Returns at the waker's virtual time.
+    pub(crate) fn block(&self) -> BlockFut {
+        BlockFut { armed: false }
+    }
+
+    /// Request that `pid` be made runnable at the current virtual time.
+    /// The request takes effect when the running process next yields.
+    pub(crate) fn wake(&self, pid: ProcessId) {
+        self.shared.wakes.lock().push(pid);
+    }
+
+    /// Report a named virtual-time span `[since, now]` to the engine's
+    /// telemetry probe, if one is attached.
+    pub fn emit_span(&self, name: &str, since: SimTime) {
+        if let Some(p) = &self.shared.probe {
+            p.span(name, since.as_ps(), self.now().as_ps(), self.pid);
+        }
+    }
+}
+
 /// Context handed to a scheduled injection (see
 /// [`Engine::schedule_injection`]). Unlike [`ProcCtx`] it cannot consume
 /// virtual time: an injection only deposits state (e.g. a message into a
@@ -244,17 +423,28 @@ impl Drop for AckGuard {
 enum ProcState {
     /// Has an event in the queue.
     Queued,
-    /// Currently executing (the scheduler is waiting for its yield).
+    /// Currently executing (inline poll or pooled-thread rendezvous).
     Running,
     /// Waiting for a wake-up.
     Blocked,
     Finished,
 }
 
+/// The execution vehicle of one process slot.
+enum ProcBody {
+    /// Inline state machine, polled on the scheduler thread. `None` once
+    /// finished (or quiesced) — the future and its captures are dropped.
+    Inline {
+        fut: Option<Pin<Box<dyn Future<Output = ()> + Send>>>,
+    },
+    /// Pooled worker thread, driven through a rendezvous channel pair.
+    Threaded { resume_tx: Sender<Resume> },
+}
+
 struct ProcEntry {
     name: String,
-    resume_tx: Sender<Resume>,
     state: ProcState,
+    body: ProcBody,
 }
 
 /// One recorded scheduler action (see [`Engine::enable_tracing`]).
@@ -277,20 +467,22 @@ pub enum TraceKind {
     Finished,
 }
 
-/// The simulation engine: owns the event queue and all process threads.
+/// The simulation engine: owns the event wheel and all process slots.
 ///
-/// Typical lifecycle: construct, [`spawn`](Engine::spawn) every process,
-/// then [`run`](Engine::run) to completion. Results are communicated out of
-/// processes through shared state (`Arc<Mutex<..>>`) captured by the
-/// closures.
+/// Typical lifecycle: construct, [`spawn_inline`](Engine::spawn_inline) /
+/// [`spawn`](Engine::spawn) every process, then [`run`](Engine::run) to
+/// completion. Results are communicated out of processes through shared
+/// state (`Arc<Mutex<..>>`) captured by the bodies.
 pub struct Engine {
+    /// This engine's slot in the process-global epoch sequence; baked into
+    /// every [`ProcessId`] it mints.
+    epoch: u32,
     procs: Vec<ProcEntry>,
     shared: Arc<Shared>,
     yield_tx: Sender<YieldMsg>,
     yield_rx: Receiver<YieldMsg>,
-    /// Min-heap over (time, seq, target).
-    queue: BinaryHeap<Reverse<(SimTime, u64, EvTarget)>>,
-    seq: u64,
+    /// Arena-backed timer wheel over (time, seq, target).
+    queue: EventWheel<EvTarget>,
     /// Virtual time of the last processed event; persists across
     /// [`Engine::run_window`] calls.
     now: SimTime,
@@ -299,6 +491,9 @@ pub struct Engine {
     injections: Vec<Option<Injection>>,
     ack_tx: Sender<()>,
     ack_rx: Receiver<()>,
+    /// How many pooled-thread processes were spawned (each owes one
+    /// quiesce acknowledgement; inline processes have no thread to drain).
+    spawned_threaded: usize,
     quiesced: bool,
     trace: Option<Vec<TraceRecord>>,
     probe: Option<Arc<dyn Probe>>,
@@ -327,6 +522,7 @@ impl Engine {
         let (yield_tx, yield_rx) = unbounded();
         let (ack_tx, ack_rx) = unbounded();
         Engine {
+            epoch: ENGINE_EPOCH.fetch_add(1, Ordering::Relaxed),
             procs: Vec::new(),
             shared: Arc::new(Shared {
                 wakes: Mutex::new(Vec::new()),
@@ -334,13 +530,13 @@ impl Engine {
             }),
             yield_tx,
             yield_rx,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventWheel::new(),
             now: SimTime::ZERO,
             ran: false,
             injections: Vec::new(),
             ack_tx,
             ack_rx,
+            spawned_threaded: 0,
             quiesced: false,
             trace: None,
             probe,
@@ -358,14 +554,56 @@ impl Engine {
         self.procs.len()
     }
 
-    /// Spawn a simulated process. All processes start at virtual time zero,
-    /// in spawn order. Must be called before [`run`](Engine::run).
+    fn pid_of(&self, pidx: usize) -> ProcessId {
+        ProcessId {
+            slot: pidx as u32,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Spawn an inline simulated process from an `async` body: the hot
+    /// path. The body runs as a poll-state machine directly on the
+    /// scheduler thread — no worker thread, no channel handoff — and may
+    /// only await simulation futures minted by its [`SimCtx`] (channel
+    /// and resource waits included). All processes start at virtual time
+    /// zero, in spawn order; scheduling order is identical to an
+    /// equivalent [`Engine::spawn`] process.
+    pub fn spawn_inline<F, Fut>(&mut self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(SimCtx) -> Fut,
+        Fut: Future<Output = ()> + Send + 'static,
+    {
+        assert!(!self.ran, "Engine::spawn_inline called after Engine::run");
+        let pid = self.pid_of(self.procs.len());
+        let ctx = SimCtx {
+            pid,
+            shared: Arc::clone(&self.shared),
+        };
+        // `f` runs now (it only builds the future); the body itself runs
+        // at the first poll, i.e. at virtual time zero.
+        let fut: Pin<Box<dyn Future<Output = ()> + Send>> = Box::pin(f(ctx));
+        let name: String = name.into();
+        if let Some(p) = &self.probe {
+            p.process_spawned(pid, &name);
+        }
+        self.push_event(SimTime::ZERO, EvTarget::Proc(pid.index()));
+        self.procs.push(ProcEntry {
+            name,
+            state: ProcState::Queued,
+            body: ProcBody::Inline { fut: Some(fut) },
+        });
+        pid
+    }
+
+    /// Spawn a pooled-thread simulated process: the fallback path for
+    /// arbitrary blocking bodies. All processes start at virtual time
+    /// zero, in spawn order. Must be called before [`run`](Engine::run).
     pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ProcessId
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
     {
         assert!(!self.ran, "Engine::spawn called after Engine::run");
-        let pid = ProcessId(self.procs.len());
+        let pid = self.pid_of(self.procs.len());
         let (resume_tx, resume_rx) = unbounded::<Resume>();
         let yield_tx = self.yield_tx.clone();
         let shared = Arc::clone(&self.shared);
@@ -373,6 +611,7 @@ impl Engine {
         let ack = AckGuard {
             tx: self.ack_tx.clone(),
         };
+        self.spawned_threaded += 1;
         // The process body runs on a pooled worker thread (reused across
         // engines); diagnostics identify processes by `ProcEntry::name`,
         // never by OS thread name, so pooling is invisible to callers.
@@ -405,12 +644,10 @@ impl Engine {
                         // or no longer cares about this process.
                         return;
                     }
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                    let _ = yield_tx.send(YieldMsg::Panicked { pid, message });
+                    let _ = yield_tx.send(YieldMsg::Panicked {
+                        pid,
+                        message: render_panic(payload),
+                    });
                 }
             }
         }));
@@ -418,11 +655,11 @@ impl Engine {
         if let Some(p) = &self.probe {
             p.process_spawned(pid, &name);
         }
-        self.push_event(SimTime::ZERO, EvTarget::Proc(pid.0));
+        self.push_event(SimTime::ZERO, EvTarget::Proc(pid.index()));
         self.procs.push(ProcEntry {
             name,
-            resume_tx,
             state: ProcState::Queued,
+            body: ProcBody::Threaded { resume_tx },
         });
         pid
     }
@@ -432,15 +669,15 @@ impl Engine {
     /// the action fires in deterministic `(time, seq)` order with every
     /// other event, so a fault plan replays identically across runs.
     ///
-    /// Implemented as a plain process that advances to `at` and runs the
-    /// action, so it needs no new scheduler machinery and shows up in
-    /// traces/probes like any other process.
+    /// Implemented as a plain inline process that advances to `at` and
+    /// runs the action, so it needs no new scheduler machinery and shows
+    /// up in traces/probes like any other process.
     pub fn schedule_fault<F>(&mut self, name: impl Into<String>, at: SimDuration, action: F) -> ProcessId
     where
         F: FnOnce() + Send + 'static,
     {
-        self.spawn(name, move |ctx| {
-            ctx.advance(at);
+        self.spawn_inline(name, move |ctx| async move {
+            ctx.advance(at).await;
             action();
         })
     }
@@ -450,13 +687,12 @@ impl Engine {
         // equivalent of a cross-partition delivery is a plain channel send
         // by the running sender, which schedules no event of its own —
         // only the wake-up it triggers is probed, on both paths.
-        if let EvTarget::Proc(pid) = target {
+        if let EvTarget::Proc(pidx) = target {
             if let Some(p) = &self.probe {
-                p.event_scheduled(at.as_ps(), ProcessId(pid));
+                p.event_scheduled(at.as_ps(), self.pid_of(pidx));
             }
         }
-        self.queue.push(Reverse((at, self.seq, target)));
-        self.seq += 1;
+        self.queue.push(at.as_ps(), target);
     }
 
     /// Schedule `deliver` to run on the event wheel at virtual time `at`.
@@ -491,7 +727,7 @@ impl Engine {
 
     /// Virtual time of the earliest pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse((t, _, _))| *t)
+        self.queue.peek_time().map(SimTime)
     }
 
     /// Names of the processes currently blocked, in spawn order.
@@ -501,6 +737,19 @@ impl Engine {
             .filter(|p| p.state == ProcState::Blocked)
             .map(|p| p.name.clone())
             .collect()
+    }
+
+    /// Scheduler counters for the `sched.*` telemetry bucket: event-wheel
+    /// traffic plus the inline/threaded process split.
+    pub fn sched_stats(&self) -> SchedStats {
+        let w = self.queue.stats();
+        SchedStats {
+            events_pushed: w.pushed,
+            events_popped: w.popped,
+            wheel_level_pushes: w.level_pushes,
+            procs_inline: (self.procs.len() - self.spawned_threaded) as u64,
+            procs_threaded: self.spawned_threaded as u64,
+        }
     }
 
     /// Run the simulation to completion.
@@ -519,6 +768,7 @@ impl Engine {
         let blocked = self.blocked_processes();
         if blocked.is_empty() {
             if let Some(p) = &self.probe {
+                p.sched_stats(&self.sched_stats());
                 p.run_complete(self.now.as_ps());
             }
             Ok((self.now, self.trace.take().unwrap_or_default()))
@@ -545,15 +795,16 @@ impl Engine {
     fn step_until(&mut self, limit: Option<SimTime>) -> Result<(), SimError> {
         self.ran = true;
         loop {
-            match self.queue.peek() {
+            match self.queue.peek_time() {
                 None => return Ok(()),
-                Some(Reverse((t, _, _))) => {
-                    if limit.is_some_and(|lim| *t >= lim) {
+                Some(t) => {
+                    if limit.is_some_and(|lim| t >= lim.as_ps()) {
                         return Ok(());
                     }
                 }
             }
-            let Reverse((t, _seq, target)) = self.queue.pop().expect("peeked event vanished");
+            let (t_ps, target) = self.queue.pop().expect("peeked event vanished");
+            let t = SimTime(t_ps);
             debug_assert!(t >= self.now, "event queue went backwards in time");
             self.now = t;
             match target {
@@ -583,17 +834,61 @@ impl Engine {
         );
         self.procs[pidx].state = ProcState::Running;
         if let Some(t) = self.trace.as_mut() {
-            t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId(pidx), kind: TraceKind::Resumed });
+            t.push(TraceRecord { at_ps: now.as_ps(), pid: ProcessId { slot: pidx as u32, epoch: self.epoch }, kind: TraceKind::Resumed });
         }
         if let Some(p) = &self.probe {
-            p.event_fired(now.as_ps(), ProcessId(pidx), self.queue.len());
+            p.event_fired(now.as_ps(), self.pid_of(pidx), self.queue.len());
         }
-        if self.procs[pidx].resume_tx.send(Resume { now }).is_err() {
-            return Err(SimError::ProcessPanicked {
-                name: self.procs[pidx].name.clone(),
-                message: "process thread exited without yielding".to_string(),
-                at: now,
-            });
+        let outcome = match self.procs[pidx].body {
+            ProcBody::Inline { .. } => self.poll_inline(pidx, now),
+            ProcBody::Threaded { .. } => self.step_threaded(pidx, now),
+        };
+        self.apply_outcome(pidx, now, outcome)
+    }
+
+    /// Drive one step of an inline process: poll its state machine on this
+    /// thread and read the requested transition out of the scratch cell.
+    fn poll_inline(&mut self, pidx: usize, now: SimTime) -> Outcome {
+        let ProcBody::Inline { fut } = &mut self.procs[pidx].body else {
+            unreachable!("poll_inline on a threaded process");
+        };
+        let mut fut = fut.take().expect("inline process resumed after it finished");
+        SCRATCH.with(|s| {
+            s.set(InlineScratch {
+                now_ps: now.as_ps(),
+                pending: Pending::None,
+            })
+        });
+        let mut cx = Context::from_waker(Waker::noop());
+        let polled = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Ready(())) => Outcome::Finished, // future (and captures) drop here
+            Ok(Poll::Pending) => {
+                let pending = SCRATCH.with(|s| s.get()).pending;
+                let ProcBody::Inline { fut: slot } = &mut self.procs[pidx].body else {
+                    unreachable!();
+                };
+                *slot = Some(fut);
+                match pending {
+                    Pending::Advance(dur) => Outcome::Advanced(dur),
+                    Pending::Block => Outcome::Blocked,
+                    Pending::None => Outcome::Panicked(
+                        "inline process awaited a non-simulation future".to_string(),
+                    ),
+                }
+            }
+            Err(payload) => Outcome::Panicked(render_panic(payload)),
+        }
+    }
+
+    /// Drive one step of a pooled-thread process: rendezvous over the
+    /// resume/yield channel pair.
+    fn step_threaded(&mut self, pidx: usize, now: SimTime) -> Outcome {
+        let ProcBody::Threaded { resume_tx } = &self.procs[pidx].body else {
+            unreachable!("step_threaded on an inline process");
+        };
+        if resume_tx.send(Resume { now }).is_err() {
+            return Outcome::Panicked("process thread exited without yielding".to_string());
         }
         let msg = self
             .yield_rx
@@ -601,7 +896,34 @@ impl Engine {
             .expect("yield channel closed while a process was running");
         match msg {
             YieldMsg::Advance { pid, dur } => {
-                self.procs[pid.0].state = ProcState::Queued;
+                debug_assert_eq!(pid.index(), pidx);
+                Outcome::Advanced(dur)
+            }
+            YieldMsg::Blocked { pid } => {
+                debug_assert_eq!(pid.index(), pidx);
+                Outcome::Blocked
+            }
+            YieldMsg::Finished { pid } => {
+                debug_assert_eq!(pid.index(), pidx);
+                // The worker that hosted this process returns itself
+                // to the pool; there is no thread to join.
+                Outcome::Finished
+            }
+            YieldMsg::Panicked { pid, message } => {
+                debug_assert_eq!(pid.index(), pidx);
+                Outcome::Panicked(message)
+            }
+        }
+    }
+
+    /// The shared epilogue of both execution paths: record the trace,
+    /// notify the probe, and requeue/park/retire the process — in exactly
+    /// the order the pre-wheel engine used, so goldens are byte-identical.
+    fn apply_outcome(&mut self, pidx: usize, now: SimTime, outcome: Outcome) -> Result<(), SimError> {
+        let pid = self.pid_of(pidx);
+        match outcome {
+            Outcome::Advanced(dur) => {
+                self.procs[pidx].state = ProcState::Queued;
                 let at = now + dur;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Advanced });
@@ -609,10 +931,10 @@ impl Engine {
                 if let Some(p) = &self.probe {
                     p.advanced(now.as_ps(), pid, dur.as_ps());
                 }
-                self.push_event(at, EvTarget::Proc(pid.0));
+                self.push_event(at, EvTarget::Proc(pidx));
             }
-            YieldMsg::Blocked { pid } => {
-                self.procs[pid.0].state = ProcState::Blocked;
+            Outcome::Blocked => {
+                self.procs[pidx].state = ProcState::Blocked;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Blocked });
                 }
@@ -620,20 +942,18 @@ impl Engine {
                     p.blocked(now.as_ps(), pid);
                 }
             }
-            YieldMsg::Finished { pid } => {
-                self.procs[pid.0].state = ProcState::Finished;
+            Outcome::Finished => {
+                self.procs[pidx].state = ProcState::Finished;
                 if let Some(t) = self.trace.as_mut() {
                     t.push(TraceRecord { at_ps: now.as_ps(), pid, kind: TraceKind::Finished });
                 }
                 if let Some(p) = &self.probe {
                     p.finished(now.as_ps(), pid);
                 }
-                // The worker that hosted this process returns itself
-                // to the pool; there is no thread to join.
             }
-            YieldMsg::Panicked { pid, message } => {
+            Outcome::Panicked(message) => {
                 return Err(SimError::ProcessPanicked {
-                    name: self.procs[pid.0].name.clone(),
+                    name: self.procs[pidx].name.clone(),
                     message,
                     at: now,
                 });
@@ -647,9 +967,17 @@ impl Engine {
     fn drain_wakes(&mut self) {
         let wakes: Vec<ProcessId> = std::mem::take(&mut *self.shared.wakes.lock());
         for w in wakes {
-            if self.procs[w.0].state == ProcState::Blocked {
-                self.procs[w.0].state = ProcState::Queued;
-                self.push_event(self.now, EvTarget::Proc(w.0));
+            if w.epoch != self.epoch {
+                // ABA guard: a stale pid from a different (typically dead)
+                // engine, e.g. parked in a channel waiter list that
+                // outlived its world. Its slot index may alias one of our
+                // processes; the epoch proves it is not ours.
+                continue;
+            }
+            let widx = w.index();
+            if self.procs[widx].state == ProcState::Blocked {
+                self.procs[widx].state = ProcState::Queued;
+                self.push_event(self.now, EvTarget::Proc(widx));
             }
             // A wake for a Queued/Running/Finished process is spurious
             // (e.g. two senders raced in the same instant); ignore it —
@@ -657,14 +985,14 @@ impl Engine {
         }
     }
 
-    /// Quiesce every process worker: unwind all still-parked processes and
-    /// wait until each worker has dropped its job closure — and with it
-    /// the captured state of the process body — before returning.
-    /// Idempotent, and invoked by `Drop`, so by the time an engine is gone
-    /// no pooled worker still holds references into its world. (The worker
-    /// pool had made teardown asynchronous: a pooled worker could still be
-    /// unwinding a dead engine's closure while the caller inspected state
-    /// those closures captured.)
+    /// Quiesce every process: drop inline state machines, unwind all
+    /// still-parked pooled threads, and wait until each worker has dropped
+    /// its job closure — and with it the captured state of the process
+    /// body — before returning. Idempotent, and invoked by `Drop`, so by
+    /// the time an engine is gone no pooled worker still holds references
+    /// into its world. (The worker pool had made teardown asynchronous: a
+    /// pooled worker could still be unwinding a dead engine's closure
+    /// while the caller inspected state those closures captured.)
     ///
     /// Must not be called while a process is executing; between windows
     /// and after a run, every process is parked or finished.
@@ -674,18 +1002,35 @@ impl Engine {
         }
         self.quiesced = true;
         for p in &mut self.procs {
-            // Dropping the real resume sender makes a parked process
-            // unwind via the quiet EngineShutdown token.
-            let (dead_tx, _) = unbounded::<Resume>();
-            p.resume_tx = dead_tx;
+            match &mut p.body {
+                ProcBody::Inline { fut } => {
+                    // Dropping the state machine drops its captures
+                    // synchronously, right here on the caller's thread.
+                    *fut = None;
+                }
+                ProcBody::Threaded { resume_tx } => {
+                    // Dropping the real resume sender makes a parked
+                    // process unwind via the quiet EngineShutdown token.
+                    let (dead_tx, _) = unbounded::<Resume>();
+                    *resume_tx = dead_tx;
+                }
+            }
         }
-        // One acknowledgement per spawned process, sent by its AckGuard
-        // when the job closure is dropped (finished processes sent theirs
-        // already; the channel buffers them).
-        for _ in 0..self.procs.len() {
+        // One acknowledgement per pooled-thread process, sent by its
+        // AckGuard when the job closure is dropped (finished processes
+        // sent theirs already; the channel buffers them).
+        for _ in 0..self.spawned_threaded {
             let _ = self.ack_rx.recv();
         }
     }
+}
+
+fn render_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
 }
 
 impl Drop for Engine {
@@ -712,6 +1057,18 @@ mod tests {
         eng.spawn("p", |ctx| {
             ctx.advance(SimDuration::from_us(5.0));
             ctx.advance(SimDuration::from_us(2.5));
+        });
+        let end = eng.run().unwrap();
+        assert_eq!(end.as_us(), 7.5);
+    }
+
+    #[test]
+    fn single_inline_process_advances_clock() {
+        let mut eng = Engine::new();
+        eng.spawn_inline("p", |ctx| async move {
+            ctx.advance(SimDuration::from_us(5.0)).await;
+            ctx.advance(SimDuration::from_us(2.5)).await;
+            assert_eq!(ctx.now().as_us(), 7.5);
         });
         let end = eng.run().unwrap();
         assert_eq!(end.as_us(), 7.5);
@@ -746,6 +1103,45 @@ mod tests {
     }
 
     #[test]
+    fn inline_processes_interleave_identically_to_threaded() {
+        // The same two-process schedule as above, run once on the inline
+        // path and once mixed (one inline, one threaded): the observable
+        // order must be identical in all three configurations.
+        let expected = vec![
+            ("b", 0, 2.0),
+            ("a", 0, 3.0),
+            ("b", 1, 4.0),
+            ("a", 1, 6.0),
+            ("b", 2, 6.0),
+            ("a", 2, 9.0),
+        ];
+        for threaded_mask in [0b00usize, 0b01, 0b10] {
+            let order = Arc::new(PlMutex::new(Vec::new()));
+            let mut eng = Engine::new();
+            for (bit, (name, step)) in [("a", 3.0), ("b", 2.0)].into_iter().enumerate() {
+                let order = Arc::clone(&order);
+                if threaded_mask & (1 << bit) != 0 {
+                    eng.spawn(name, move |ctx| {
+                        for i in 0..3 {
+                            ctx.advance(SimDuration::from_us(step));
+                            order.lock().push((name, i, ctx.now().as_us()));
+                        }
+                    });
+                } else {
+                    eng.spawn_inline(name, move |ctx| async move {
+                        for i in 0..3 {
+                            ctx.advance(SimDuration::from_us(step)).await;
+                            order.lock().push((name, i, ctx.now().as_us()));
+                        }
+                    });
+                }
+            }
+            eng.run().unwrap();
+            assert_eq!(*order.lock(), expected, "mask {threaded_mask:#04b}");
+        }
+    }
+
+    #[test]
     fn rendezvous_over_channel() {
         let mut eng = Engine::new();
         let ch = SimChannel::<u64>::new("ch");
@@ -761,6 +1157,29 @@ mod tests {
             let out = Arc::clone(&out);
             eng.spawn("consumer", move |ctx| {
                 let v = ch.recv(ctx);
+                *out.lock() = Some((v, ctx.now().as_us()));
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(*out.lock(), Some((42, 10.0)));
+    }
+
+    #[test]
+    fn inline_rendezvous_over_channel() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u64>::new("ch");
+        let out = Arc::new(PlMutex::new(None));
+        {
+            let ch = ch.clone();
+            eng.spawn_inline("producer", move |ctx| async move {
+                ctx.advance(SimDuration::from_us(10.0)).await;
+                ch.send_inline(&ctx, 42);
+            });
+        }
+        {
+            let out = Arc::clone(&out);
+            eng.spawn_inline("consumer", move |ctx| async move {
+                let v = ch.recv_inline(&ctx).await;
                 *out.lock() = Some((v, ctx.now().as_us()));
             });
         }
@@ -785,6 +1204,22 @@ mod tests {
     }
 
     #[test]
+    fn inline_deadlock_is_reported_with_names() {
+        let mut eng = Engine::new();
+        let ch = SimChannel::<u8>::new("never");
+        eng.spawn_inline("stuck", move |ctx| async move {
+            let _ = ch.recv_inline(&ctx).await;
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { blocked, at }) => {
+                assert_eq!(blocked, vec!["stuck".to_string()]);
+                assert_eq!(at, SimTime::ZERO);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn process_panic_is_captured() {
         let mut eng = Engine::new();
         eng.spawn("boom", |_ctx| panic!("kaboom {}", 9));
@@ -795,6 +1230,48 @@ mod tests {
                 assert_eq!(at, SimTime::ZERO);
             }
             other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_process_panic_is_captured() {
+        let mut eng = Engine::new();
+        eng.spawn_inline("boom", |ctx| async move {
+            ctx.advance(SimDuration::from_us(1.0)).await;
+            panic!("kaboom {}", 9);
+        });
+        match eng.run() {
+            Err(SimError::ProcessPanicked { name, message, at }) => {
+                assert_eq!(name, "boom");
+                assert!(message.contains("kaboom 9"));
+                assert_eq!(at.as_us(), 1.0);
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_foreign_future_is_reported_not_hung() {
+        /// A future the scheduler cannot drive: pends without filing a
+        /// simulation transition.
+        struct Foreign;
+        impl Future for Foreign {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let mut eng = Engine::new();
+        eng.spawn_inline("alien", |_ctx| async move {
+            Foreign.await;
+            unreachable!("the scheduler cannot complete a foreign future");
+        });
+        match eng.run() {
+            Err(SimError::ProcessPanicked { name, message, .. }) => {
+                assert_eq!(name, "alien");
+                assert!(message.contains("non-simulation future"), "{message}");
+            }
+            other => panic!("expected process error, got {other:?}"),
         }
     }
 
@@ -840,6 +1317,46 @@ mod tests {
     }
 
     #[test]
+    fn many_inline_processes_round_robin() {
+        let counter = Arc::new(PlMutex::new(0u64));
+        let mut eng = Engine::new();
+        for i in 0..64 {
+            let counter = Arc::clone(&counter);
+            eng.spawn_inline(format!("w{i}"), move |ctx| async move {
+                for _ in 0..10 {
+                    ctx.advance(SimDuration::from_ns(100.0)).await;
+                    *counter.lock() += 1;
+                }
+            });
+        }
+        let end = eng.run().unwrap();
+        assert_eq!(*counter.lock(), 640);
+        assert_eq!(end.as_ns(), 1000.0);
+    }
+
+    #[test]
+    fn inline_zero_advance_still_yields() {
+        // advance(ZERO) must park and requeue at the same instant (later
+        // seq), not spin inside one poll: a same-time neighbour runs in
+        // between.
+        let order = Arc::new(PlMutex::new(Vec::new()));
+        let mut eng = Engine::new();
+        for name in ["a", "b"] {
+            let order = Arc::clone(&order);
+            eng.spawn_inline(name, move |ctx| async move {
+                order.lock().push((name, 0));
+                ctx.advance(SimDuration::ZERO).await;
+                order.lock().push((name, 1));
+            });
+        }
+        eng.run().unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec![("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        );
+    }
+
+    #[test]
     fn spawn_after_run_panics() {
         // `run` consumes the engine, so "spawn after run" is prevented by
         // the type system; this test documents the `ran` flag is still a
@@ -853,7 +1370,69 @@ mod tests {
     fn dropping_unrun_engine_does_not_hang() {
         let mut eng = Engine::new();
         eng.spawn("never-started", |ctx| ctx.advance(SimDuration::from_us(1.0)));
-        drop(eng); // must join cleanly without running
+        eng.spawn_inline("inline-never-started", |ctx| async move {
+            ctx.advance(SimDuration::from_us(1.0)).await;
+        });
+        drop(eng); // must tear down cleanly without running
+    }
+
+    #[test]
+    fn stale_pid_does_not_wake_recycled_slot() {
+        // ABA guard: park a process of world 1 in a channel waiter list,
+        // kill world 1, then run world 2 over the same channel. The stale
+        // waiter pid occupies the same slot index as a live world-2
+        // process; waking it must not requeue the impostor.
+        let ch = SimChannel::<u8>::new("carried-over");
+        let mut eng1 = Engine::new();
+        {
+            let ch = ch.clone();
+            eng1.spawn_inline("w1-rx", move |ctx| async move {
+                let _ = ch.recv_inline(&ctx).await; // parks pid {slot 0, epoch e1}
+            });
+        }
+        assert!(matches!(eng1.run(), Err(SimError::Deadlock { .. })));
+
+        let woke = Arc::new(PlMutex::new(0u32));
+        let mut eng2 = Engine::new();
+        {
+            let ch = ch.clone();
+            let woke = Arc::clone(&woke);
+            // Slot 0 of world 2: must only run its own two steps.
+            eng2.spawn_inline("w2-counter", move |ctx| async move {
+                ctx.advance(SimDuration::from_us(5.0)).await;
+                *woke.lock() += 1;
+                let _ = ch.recv_inline(&ctx).await;
+                *woke.lock() += 1;
+            });
+        }
+        {
+            let ch = ch.clone();
+            eng2.spawn_inline("w2-tx", move |ctx| async move {
+                // This send pops the *stale* world-1 waiter first and wakes
+                // it; the epoch guard must discard that wake. The queued
+                // message still satisfies w2-counter's later recv.
+                ctx.advance(SimDuration::from_us(1.0)).await;
+                ch.send_inline(&ctx, 7);
+            });
+        }
+        let end = eng2.run().unwrap();
+        assert_eq!(end.as_us(), 5.0);
+        assert_eq!(*woke.lock(), 2);
+    }
+
+    #[test]
+    fn sched_stats_report_wheel_traffic_and_process_split() {
+        let mut eng = Engine::new();
+        eng.spawn_inline("i", |ctx| async move {
+            ctx.advance(SimDuration::from_us(1.0)).await;
+        });
+        eng.spawn("t", |ctx| ctx.advance(SimDuration::from_us(1.0)));
+        let stats = eng.sched_stats();
+        assert_eq!(stats.procs_inline, 1);
+        assert_eq!(stats.procs_threaded, 1);
+        assert_eq!(stats.events_pushed, 2); // two spawn events queued
+        assert_eq!(stats.events_popped, 0);
+        eng.run().unwrap();
     }
 }
 
@@ -885,6 +1464,29 @@ mod trace_tests {
     }
 
     #[test]
+    fn inline_trace_is_identical_to_threaded() {
+        let run = |inline: bool| {
+            let mut eng = Engine::new();
+            eng.enable_tracing();
+            if inline {
+                eng.spawn_inline("a", |ctx| async move {
+                    ctx.advance(SimDuration::from_ns(5.0)).await;
+                });
+            } else {
+                eng.spawn("a", |ctx| {
+                    ctx.advance(SimDuration::from_ns(5.0));
+                });
+            }
+            let (_, trace) = eng.run_traced().unwrap();
+            trace
+                .iter()
+                .map(|r| (r.at_ps, r.pid.index(), r.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn tracing_off_returns_empty() {
         let mut eng = Engine::new();
         eng.spawn("a", |ctx| ctx.advance(SimDuration::from_ns(1.0)));
@@ -911,6 +1513,6 @@ mod trace_tests {
         let (_, trace) = eng.run_traced().unwrap();
         assert!(trace
             .iter()
-            .any(|r| r.kind == TraceKind::Blocked && r.pid == ProcessId(0)));
+            .any(|r| r.kind == TraceKind::Blocked && r.pid.index() == 0));
     }
 }

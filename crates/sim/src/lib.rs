@@ -4,21 +4,25 @@
 //! reproduction. It provides:
 //!
 //! * a virtual clock with picosecond resolution ([`SimTime`], [`SimDuration`]),
-//! * a conservative process-oriented engine ([`Engine`]) in which each
-//!   simulated process runs on its own OS thread but processes execute
+//! * a conservative process-oriented engine ([`Engine`]) over an
+//!   arena-backed hierarchical timer wheel, in which processes execute
 //!   strictly one at a time, in a total order defined by `(time, sequence)`,
 //!   so every run is bit-for-bit deterministic,
 //! * blocking message channels in virtual time ([`channel::SimChannel`]),
 //! * FIFO resources for modeling contended links and servers
 //!   ([`resource::Resource`]).
 //!
-//! Simulated code is ordinary blocking Rust: a process receives a
-//! [`ProcCtx`] and calls [`ProcCtx::advance`] to consume virtual time,
-//! `SimChannel::recv` to block on a message, or `Resource::acquire` to wait
-//! for a contended unit. This style lets the MPI layer implement real
-//! collective algorithms (binomial trees, recursive doubling, pairwise
-//! exchange) as straight-line code whose *virtual* timing is measured by the
-//! engine.
+//! Simulated code comes in two equivalent styles. The hot path is an
+//! `async` body spawned with [`Engine::spawn_inline`]: it receives a
+//! [`SimCtx`], awaits [`SimCtx::advance`] to consume virtual time or
+//! `SimChannel::recv_inline` to wait for a message, and runs as a poll
+//! state machine directly on the scheduler thread. The fallback is
+//! ordinary blocking Rust spawned with [`Engine::spawn`] on a pooled
+//! worker thread: the process receives a [`ProcCtx`] and calls
+//! [`ProcCtx::advance`] / `SimChannel::recv` / `Resource::acquire`.
+//! Either style lets the MPI layer implement real collective algorithms
+//! (binomial trees, recursive doubling, pairwise exchange) as
+//! straight-line code whose *virtual* timing is measured by the engine.
 //!
 //! ```
 //! use maia_sim::{Engine, SimDuration};
@@ -50,7 +54,8 @@ mod pool;
 pub mod probe;
 pub mod resource;
 pub mod time;
+mod wheel;
 
-pub use engine::{Engine, InjectCtx, ProcCtx, ProcessId, SimError, TraceKind, TraceRecord};
-pub use probe::{factory_installed, set_probe_factory, Probe};
+pub use engine::{Engine, InjectCtx, ProcCtx, ProcessId, SimCtx, SimError, TraceKind, TraceRecord};
+pub use probe::{factory_installed, set_probe_factory, Probe, SchedStats};
 pub use time::{SimDuration, SimTime};

@@ -323,7 +323,7 @@ impl PartitionProbe {
     }
 
     fn global(&self, pid: ProcessId) -> ProcessId {
-        ProcessId(
+        ProcessId::from_index(
             *self
                 .map
                 .get(pid.index())
@@ -389,7 +389,7 @@ impl Probe for PartitionProbe {
 /// keeps `process_spawned` order — and any probe-side pid→name table —
 /// identical to a single-wheel run.
 pub fn register_global_process(probe: &dyn Probe, index: usize, name: &str) {
-    probe.process_spawned(ProcessId(index), name);
+    probe.process_spawned(ProcessId::from_index(index), name);
 }
 
 /// Delivery hook of a [`Wheel`]: place a payload into an inbox slot
@@ -622,7 +622,7 @@ where
         for s in spans {
             bundle
                 .inner
-                .span(&s.name, s.start_ps, s.end_ps, ProcessId(s.global));
+                .span(&s.name, s.start_ps, s.end_ps, ProcessId::from_index(s.global));
         }
         bundle.inner.run_complete(end.as_ps());
     }

@@ -20,6 +20,27 @@ use std::sync::{Arc, RwLock};
 
 use crate::engine::ProcessId;
 
+/// End-of-run scheduler counters, reported once per completed
+/// [`Engine::run`](crate::Engine::run) through [`Probe::sched_stats`] —
+/// the raw material of the `sched.*` telemetry bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events pushed onto the timer wheel (spawns, advances, injections,
+    /// wakes).
+    pub events_pushed: u64,
+    /// Events popped in `(time, seq)` order.
+    pub events_popped: u64,
+    /// Wheel insertions per level (index 7 is the sorted far-future
+    /// overflow level; cascade redistributions count again at their new
+    /// level).
+    pub wheel_level_pushes: [u64; 8],
+    /// Processes executed as inline state machines on the scheduler
+    /// thread.
+    pub procs_inline: u64,
+    /// Processes executed as closures on pooled worker threads.
+    pub procs_threaded: u64,
+}
+
 /// Observer of engine/resource activity. All methods have no-op defaults;
 /// implement the subset you need. Calls may come from any thread, but —
 /// because the engine runs processes strictly one at a time — calls
@@ -39,6 +60,11 @@ pub trait Probe: Send + Sync {
     fn blocked(&self, _now_ps: u64, _pid: ProcessId) {}
     /// `pid`'s closure returned.
     fn finished(&self, _now_ps: u64, _pid: ProcessId) {}
+    /// End-of-run scheduler counters, reported just before
+    /// [`Probe::run_complete`] on a successful complete run (windowed
+    /// partition runs report no per-wheel stats: their accounting belongs
+    /// to the orchestrator).
+    fn sched_stats(&self, _stats: &SchedStats) {}
     /// The engine drained its queue; `end_ps` is the final virtual time.
     fn run_complete(&self, _end_ps: u64) {}
     /// `pid` acquired a unit of resource `name` after waiting `wait_ps`

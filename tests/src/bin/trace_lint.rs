@@ -13,7 +13,7 @@
 use maia_tests::minijson::{parse, Json};
 
 /// Subsystems allowed in `cat:"vt"` bucket events (`scope:subsystem`).
-const VT_SUBSYSTEMS: &[&str] = &["memory", "mpi-fabric", "omp", "io", "pcie", "faults"];
+const VT_SUBSYSTEMS: &[&str] = &["memory", "mpi-fabric", "omp", "io", "pcie", "faults", "sched"];
 
 fn lint(text: &str) -> Result<usize, String> {
     let doc = parse(text).map_err(|e| format!("malformed JSON: {e}"))?;

@@ -31,29 +31,22 @@ fn npb_suite_runs_on_the_runtime() {
 #[test]
 fn symmetric_world_runs_across_devices() {
     let spec = WorldSpec::symmetric(4, 2, SoftwareStack::PostUpdate);
-    let res = MpiWorld::run(&spec, |rank| {
-        // Global reduction + neighbor halo, like one OVERFLOW step.
-        rank.allreduce(8);
+    // Global reduction + neighbor halo, like one OVERFLOW step.
+    let program = |mut rank: maia_mpi::Rank| async move {
+        rank.allreduce(8).await;
         let p = rank.size();
         let right = (rank.rank() + 1) % p;
         let left = (rank.rank() + p - 1) % p;
-        rank.sendrecv(right, left, 7, 64 * 1024);
-        rank.barrier();
-    })
-    .expect("symmetric world deadlocked");
+        rank.sendrecv(right, left, 7, 64 * 1024).await;
+        rank.barrier().await;
+        rank
+    };
+    let res = MpiWorld::run(&spec, program).expect("symmetric world deadlocked");
 
     // The same program on the host alone is much faster: PCIe hops of
     // tens of microseconds vs sub-microsecond shared memory.
     let host_spec = WorldSpec::all_on(Device::Host, 8);
-    let host = MpiWorld::run(&host_spec, |rank| {
-        rank.allreduce(8);
-        let p = rank.size();
-        let right = (rank.rank() + 1) % p;
-        let left = (rank.rank() + p - 1) % p;
-        rank.sendrecv(right, left, 7, 64 * 1024);
-        rank.barrier();
-    })
-    .unwrap();
+    let host = MpiWorld::run(&host_spec, program).unwrap();
     assert!(
         res.end_time.as_secs_f64() > 5.0 * host.end_time.as_secs_f64(),
         "PCIe should dominate: {} vs {}",
@@ -72,12 +65,13 @@ fn internode_vs_phi_to_phi() {
             placements,
             stack: SoftwareStack::PostUpdate,
         };
-        MpiWorld::run(&spec, move |rank| {
+        MpiWorld::run(&spec, move |mut rank| async move {
             if rank.rank() == 0 {
-                rank.send(1, 0, m);
+                rank.send(1, 0, m).await;
             } else {
-                let _ = rank.recv(Some(0), 0);
+                let _ = rank.recv(Some(0), 0).await;
             }
+            rank
         })
         .unwrap()
         .end_time

@@ -115,9 +115,10 @@ fn dapl_fallback_reproduces_preupdate_figure8() {
 fn straggler_stretches_the_lagging_rank() {
     let _g = serialize();
     let spec = WorldSpec::all_on(Device::Host, 4);
-    let body = |rank: &mut maia_mpi::Rank| {
-        rank.compute(maia_sim::SimDuration::from_us(100.0));
-        rank.barrier();
+    let body = |mut rank: maia_mpi::Rank| async move {
+        rank.compute(maia_sim::SimDuration::from_us(100.0)).await;
+        rank.barrier().await;
+        rank
     };
     let nominal = MpiWorld::run(&spec, body).expect("nominal world");
 

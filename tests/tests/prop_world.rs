@@ -30,12 +30,13 @@ proptest! {
             placements: devices.iter().map(|&d| RankPlacement::on(d)).collect(),
             stack: if pre_update { SoftwareStack::PreUpdate } else { SoftwareStack::PostUpdate },
         };
-        let res = MpiWorld::run(&spec, move |rank| {
-            rank.barrier();
-            rank.bcast(0, bytes);
-            rank.allreduce(bytes);
-            rank.allgather(bytes);
-            rank.barrier();
+        let res = MpiWorld::run(&spec, move |mut rank| async move {
+            rank.barrier().await;
+            rank.bcast(0, bytes).await;
+            rank.allreduce(bytes).await;
+            rank.allgather(bytes).await;
+            rank.barrier().await;
+            rank
         });
         let res = res.expect("collective sequence deadlocked");
         prop_assert!(res.end_time.as_ps() > 0);
@@ -77,13 +78,14 @@ proptest! {
     #[test]
     fn ring_time_scales_with_iterations(iters in 1u32..6) {
         let spec = WorldSpec::all_on(Device::Host, 4);
-        let res = MpiWorld::run(&spec, move |rank| {
+        let res = MpiWorld::run(&spec, move |mut rank| async move {
             let p = rank.size();
             let right = (rank.rank() + 1) % p;
             let left = (rank.rank() + p - 1) % p;
             for i in 0..iters as i32 {
-                rank.sendrecv(right, left, i, 4096);
+                rank.sendrecv(right, left, i, 4096).await;
             }
+            rank
         }).unwrap();
         let per_iter = res.end_time.as_secs_f64() / iters as f64;
         // One 4 KB host-internal message costs 0.5 us + 2 us wire.
