@@ -14,7 +14,8 @@ echo "== cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp_err=$(mktemp)
+trap 'rm -f "$tmp" "$tmp_err"' EXIT
 
 # golden_gate <label> <golden file> <command...>
 # Runs the command, captures stdout, and diffs it against the golden —
@@ -77,6 +78,42 @@ if [ "$cores" -ge 4 ]; then
 else
     echo "   ($cores core(s): 4-wheel identity and speedup gates need >= 4 cores; skipped)"
 fi
+
+# The multi-process backend must land on the same bytes as the channel
+# backend: identical golden, but wheels 1-3 live in real maia-bench
+# partition-worker processes routed by the in-parent hub. Correctness
+# does not depend on core count, so this gate always runs.
+golden_gate "process-backend cluster DES (4 wheels, real worker processes)" \
+    tests/golden/cluster_sweep.md \
+    ./target/release/maia-bench run --only C01,C02 --jobs 2 --engine des \
+    --partitions 4 --backend process
+
+echo "== supervision drill: kill a worker, no retries, no degradation -> exit 1, partial report"
+set +e
+MAIA_WORKER_CHAOS=kill:1 MAIA_SUPERVISE_RETRIES=0 MAIA_SUPERVISE_DEGRADE=0 \
+    ./target/release/maia-bench run --only C01,T01 --jobs 2 --engine des \
+    --partitions 4 --backend process >"$tmp" 2>"$tmp_err"
+drill_rc=$?
+set -e
+if [ "$drill_rc" -ne 1 ]; then
+    echo "FAIL: expected exit 1 from a sweep with an unrecoverable worker loss, got $drill_rc" >&2
+    cat "$tmp_err" >&2
+    exit 1
+fi
+grep -q 'worker-lost' "$tmp_err" || {
+    echo "FAIL: drill failure not classified as worker-lost" >&2
+    cat "$tmp_err" >&2
+    exit 1
+}
+grep -q 'worker for wheel 1 lost at window' "$tmp_err" || {
+    echo "FAIL: drill failure detail does not name the wheel and window" >&2
+    cat "$tmp_err" >&2
+    exit 1
+}
+grep -q '^## T1 ' "$tmp" || {
+    echo "FAIL: partial report missing the surviving experiment (T1)" >&2
+    exit 1
+}
 
 echo "== fail-soft gate: injected panic isolates one experiment, exit 1, partial report"
 set +e

@@ -17,6 +17,7 @@ use maia_core::{
     SweepReport,
 };
 use maia_mpi::fastpath::EngineMode;
+use maia_mpi::process_backend::Backend;
 
 /// Output format for experiment tables and reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,10 @@ pub struct CommonArgs {
     /// Event wheels for partitioned (cluster) DES runs. Results are
     /// bit-identical at every count; >1 trades wall-clock for threads.
     pub partitions: usize,
+    /// Exchange transport for partitioned runs: in-process channels
+    /// (default) or supervised worker processes. Results are
+    /// bit-identical either way.
+    pub backend: Backend,
 }
 
 /// Accumulator for the shared flags; each subcommand folds its argv
@@ -98,6 +103,7 @@ struct CommonParser {
     jobs: Option<usize>,
     engine: Option<EngineMode>,
     partitions: Option<usize>,
+    backend: Option<Backend>,
 }
 
 impl CommonParser {
@@ -137,6 +143,13 @@ impl CommonParser {
                         .ok_or("--partitions requires a positive integer")?,
                 );
             }
+            "--backend" => {
+                let spec = value("--backend")?;
+                self.backend = Some(
+                    Backend::parse(&spec)
+                        .ok_or_else(|| format!("unknown backend '{spec}' (channel or process)"))?,
+                );
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -153,6 +166,7 @@ impl CommonParser {
             jobs: self.jobs.unwrap_or_else(default_jobs),
             engine: self.engine.unwrap_or(EngineMode::Auto),
             partitions: self.partitions.unwrap_or(1),
+            backend: self.backend.unwrap_or(Backend::Channel),
         })
     }
 }
@@ -223,6 +237,15 @@ pub enum Command {
     Crosscheck(CrosscheckOptions),
     /// `maia-bench list`
     List,
+    /// `maia-bench partition-worker --wheel W --partitions N` — internal:
+    /// host one event wheel of a partitioned run, speaking the wire
+    /// protocol on stdin/stdout. Spawned by the supervisor, not by hand.
+    PartitionWorker {
+        /// The wheel this process hosts (`1..partitions`).
+        wheel: usize,
+        /// Total wheel count of the run.
+        partitions: usize,
+    },
     /// `maia-bench help` (or no arguments).
     Help,
 }
@@ -240,6 +263,9 @@ USAGE:
     maia-bench crosscheck [--jobs N] [--partitions N] [--out PATH]
     maia-bench list
     maia-bench help
+    maia-bench partition-worker --wheel W --partitions N   (internal: one
+                       event wheel of a --backend process run; spawned by
+                       the supervisor, protocol on stdin/stdout)
 
 COMMON OPTIONS (shared by run, check, profile and faults):
     --all              Select every experiment (default when --only absent)
@@ -258,6 +284,16 @@ COMMON OPTIONS (shared by run, check, profile and faults):
                        folded round-robin. Figure data and virtual-side
                        telemetry are bit-identical at every N (default 1);
                        N > 1 only changes wall-clock time
+    --backend B        Exchange transport for partitioned cluster runs:
+                       channel (default; wheels on threads) or process
+                       (wheels 1..N in supervised worker processes with
+                       heartbeats, seeded retry/backoff respawn, and
+                       graceful degradation to in-process execution).
+                       Figure data and virtual-side telemetry are
+                       bit-identical across backends. Supervision knobs:
+                       MAIA_SUPERVISE_RETRIES (default 2),
+                       MAIA_SUPERVISE_DEGRADE=0 to fail instead of
+                       degrading, MAIA_SUPERVISE_HEARTBEAT_MS (default 100)
 
 run:
     --bench-json PATH  Write the sweep timing record (BENCH_*.json) to PATH
@@ -315,6 +351,42 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match it.next().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("list") => Ok(Command::List),
+        Some("partition-worker") => {
+            let mut wheel = None;
+            let mut partitions = None;
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--wheel" => {
+                        wheel = Some(
+                            value("--wheel")?
+                                .parse::<usize>()
+                                .map_err(|_| "--wheel requires an integer".to_string())?,
+                        );
+                    }
+                    "--partitions" => {
+                        partitions = Some(
+                            value("--partitions")?
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 2)
+                                .ok_or("--partitions requires an integer >= 2")?,
+                        );
+                    }
+                    other => return Err(format!("unknown argument '{other}'")),
+                }
+            }
+            let wheel = wheel.ok_or("partition-worker requires --wheel")?;
+            let partitions = partitions.ok_or("partition-worker requires --partitions")?;
+            if wheel == 0 || wheel >= partitions {
+                return Err(format!("--wheel must be in 1..{partitions} (hub owns wheel 0)"));
+            }
+            Ok(Command::PartitionWorker { wheel, partitions })
+        }
         Some("run") => {
             let mut common = CommonParser::default();
             let mut bench_json = None;
@@ -668,6 +740,40 @@ pub fn execute_crosscheck(opts: &CrosscheckOptions) -> Result<CrosscheckOutcome,
 fn apply_process_globals(common: &CommonArgs) {
     maia_mpi::fastpath::set_engine_mode(common.engine);
     maia_mpi::partition::set_partitions(common.partitions);
+    maia_mpi::process_backend::set_backend(common.backend);
+    if common.backend == Backend::Process {
+        // Workers are this very binary, re-exec'd with the hidden
+        // subcommand; MAIA_WORKER_BIN overrides for harnesses that drive
+        // the library from a different executable.
+        let program = std::env::var_os("MAIA_WORKER_BIN")
+            .map(PathBuf::from)
+            .or_else(|| std::env::current_exe().ok())
+            .expect("cannot resolve the worker binary (set MAIA_WORKER_BIN)");
+        maia_core::supervise::install_default_launcher(program);
+    }
+}
+
+/// Body of the hidden `partition-worker` subcommand: speak the wire
+/// protocol on stdin/stdout until the hub says done. Exit 0 on a clean
+/// finish, 1 on a protocol/IO error (the hub sees EOF and handles it as
+/// a worker loss). Nothing may print to stdout here — it *is* the
+/// protocol channel.
+fn run_partition_worker(wheel: usize, partitions: usize) -> i32 {
+    let reader: Box<dyn std::io::Read + Send> = Box::new(std::io::stdin());
+    let writer: Box<dyn std::io::Write + Send> = Box::new(std::io::stdout());
+    match maia_mpi::process_backend::worker_main(
+        wheel,
+        partitions,
+        reader,
+        writer,
+        maia_core::supervise::process_config(),
+    ) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("maia-bench partition-worker (wheel {wheel}): {e}");
+            1
+        }
+    }
 }
 
 fn render_metrics(profile: &maia_core::ProfileReport, fmt: Format) -> String {
@@ -702,6 +808,9 @@ pub fn main_with_args(args: &[String]) -> i32 {
         Ok(Command::List) => {
             print!("{}", render_list());
             0
+        }
+        Ok(Command::PartitionWorker { wheel, partitions }) => {
+            run_partition_worker(wheel, partitions)
         }
         Ok(Command::Run(opts)) => match execute_run(&opts) {
             Ok(out) => {
@@ -869,6 +978,13 @@ mod tests {
             vec!["run", "--partitions", "0"],
             vec!["check", "--partitions", "-1"],
             vec!["crosscheck", "--partitions", "0"],
+            vec!["run", "--backend", "carrier-pigeon"],
+            vec!["run", "--backend"], // missing value
+            vec!["partition-worker"], // both flags mandatory
+            vec!["partition-worker", "--wheel", "1"],
+            vec!["partition-worker", "--wheel", "0", "--partitions", "4"],
+            vec!["partition-worker", "--wheel", "4", "--partitions", "4"],
+            vec!["partition-worker", "--wheel", "1", "--partitions", "1"],
             vec!["faults"],                         // --plan is mandatory
             vec!["faults", "--plan"],               // missing value
             vec!["faults", "--plan", "x", "--format", "csv"],
@@ -938,6 +1054,34 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_parses_and_defaults_to_channel() {
+        for sub in ["run", "check", "profile"] {
+            let backend = match parse_ok(&[sub, "--backend", "process"]) {
+                Command::Run(o) => o.common.backend,
+                Command::Check(o) => o.common.backend,
+                Command::Profile(o) => o.common.backend,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(backend, Backend::Process, "{sub}");
+        }
+        let Command::Run(o) = parse_ok(&["run", "--jobs", "2"]) else {
+            panic!("expected run");
+        };
+        assert_eq!(o.common.backend, Backend::Channel);
+    }
+
+    #[test]
+    fn partition_worker_parses_wheel_and_partitions() {
+        assert_eq!(
+            parse_ok(&["partition-worker", "--wheel", "2", "--partitions", "4"]),
+            Command::PartitionWorker {
+                wheel: 2,
+                partitions: 4
+            }
+        );
+    }
+
+    #[test]
     fn faults_parses_plan_and_common_flags() {
         let Command::Faults(opts) =
             parse_ok(&["faults", "--plan", "degraded-stack", "--only", "F08", "--jobs", "2"])
@@ -995,6 +1139,7 @@ mod tests {
                 jobs: 2,
                 engine: EngineMode::Auto,
                 partitions: 1,
+                backend: Backend::Channel,
             },
             bench_json: Some(dir.join("BENCH.json")),
             metrics: None,

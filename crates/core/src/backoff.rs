@@ -1,0 +1,176 @@
+//! Seeded exponential-backoff schedules shared by the fault model and
+//! the worker supervisor.
+//!
+//! Two consumers need the *same* arithmetic for very different reasons:
+//!
+//! * the PR 5 retrying-link fault charges each PCIe-crossing message a
+//!   deterministic sequence of modeled timeout rounds (jitter-free —
+//!   the golden resilience report pins every injected picosecond), and
+//! * the process-backend supervisor waits real wall-clock time between
+//!   worker respawns, where jitter is *wanted* (it decorrelates retry
+//!   storms) but must stay reproducible per seed so chaos drills are
+//!   byte-stable.
+//!
+//! Both are projections of one [`BackoffPolicy`]: a base delay doubled
+//! (or `factor`-ed) per attempt, clamped to `cap_s`, drawn `budget`
+//! times, with each delay scaled by a seeded jitter factor in
+//! `[1 - jitter, 1]`. `jitter = 0` makes the schedule a pure function
+//! of the policy, which is exactly the retrying-link configuration.
+
+/// SplitMix64 step — the same tiny deterministic generator the fault
+/// plans use for seed derivation. Good enough for jitter; no external
+/// RNG crates are reachable from this environment.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An exponential-backoff schedule: `budget` delays starting at
+/// `base_s`, multiplied by `factor` per attempt, clamped to `cap_s`,
+/// each scaled by a seeded jitter draw in `[1 - jitter, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// First delay, seconds (>= 0).
+    pub base_s: f64,
+    /// Per-attempt multiplier (>= 1; 2.0 for classic doubling).
+    pub factor: f64,
+    /// Upper bound on any single delay, seconds (`f64::INFINITY` to
+    /// disable). Applied *before* jitter, so jitter can only shorten.
+    pub cap_s: f64,
+    /// Jitter fraction in `[0, 1)`: delay `i` is scaled by a seeded
+    /// uniform draw from `[1 - jitter, 1]`. Zero means no jitter and a
+    /// seed-independent schedule.
+    pub jitter: f64,
+    /// Number of delays in the schedule (the retry budget).
+    pub budget: u32,
+}
+
+impl BackoffPolicy {
+    /// Jitter-free doubling schedule — the retrying-link shape.
+    pub fn doubling(base_s: f64, budget: u32) -> Self {
+        BackoffPolicy {
+            base_s,
+            factor: 2.0,
+            cap_s: f64::INFINITY,
+            jitter: 0.0,
+            budget,
+        }
+    }
+
+    /// The full schedule for `seed`: exactly `budget` delays, in order.
+    /// Deterministic: same policy + same seed → identical `Vec<f64>`
+    /// bit-for-bit.
+    pub fn schedule(&self, seed: u64) -> Vec<f64> {
+        let mut rng = seed;
+        let mut delay = self.base_s.max(0.0);
+        let factor = self.factor.max(1.0);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let mut out = Vec::with_capacity(self.budget as usize);
+        for _ in 0..self.budget {
+            let capped = delay.min(self.cap_s);
+            let scale = if jitter == 0.0 {
+                1.0
+            } else {
+                // Uniform in [1 - jitter, 1]: never lengthens a delay
+                // past the cap, never collapses below (1-jitter)·cap.
+                let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                1.0 - jitter * u
+            };
+            out.push(capped * scale);
+            delay *= factor;
+        }
+        out
+    }
+
+    /// Sum of the whole schedule — the worst-case seconds a caller can
+    /// spend retrying before the budget is exhausted.
+    pub fn total_s(&self, seed: u64) -> f64 {
+        self.schedule(seed).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn doubling_matches_retrying_link_shape() {
+        // The degraded-stack plan: 2 retries at 50 µs — the schedule the
+        // golden resilience report's injected time is derived from.
+        let s = BackoffPolicy::doubling(50e-6, 2).schedule(13);
+        assert_eq!(s, vec![50e-6, 100e-6]);
+        // Jitter-free schedules ignore the seed entirely.
+        assert_eq!(s, BackoffPolicy::doubling(50e-6, 2).schedule(9999));
+    }
+
+    #[test]
+    fn zero_budget_is_empty() {
+        assert!(BackoffPolicy::doubling(1.0, 0).schedule(1).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn schedule_deterministic_per_seed(
+            seed in any::<u64>(),
+            base_ms in 1u64..1000,
+            budget in 0u32..16,
+            jitter_pct in 0u32..100,
+        ) {
+            let p = BackoffPolicy {
+                base_s: base_ms as f64 * 1e-3,
+                factor: 2.0,
+                cap_s: 2.0,
+                jitter: jitter_pct as f64 / 100.0,
+                budget,
+            };
+            let a = p.schedule(seed);
+            let b = p.schedule(seed);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn schedule_respects_cap_and_budget(
+            seed in any::<u64>(),
+            base_ms in 1u64..1000,
+            cap_ms in 1u64..500,
+            budget in 0u32..16,
+            jitter_pct in 0u32..100,
+        ) {
+            let p = BackoffPolicy {
+                base_s: base_ms as f64 * 1e-3,
+                factor: 2.0,
+                cap_s: cap_ms as f64 * 1e-3,
+                jitter: jitter_pct as f64 / 100.0,
+                budget,
+            };
+            let s = p.schedule(seed);
+            prop_assert_eq!(s.len(), budget as usize);
+            for d in &s {
+                prop_assert!(*d >= 0.0, "negative delay {d}");
+                prop_assert!(*d <= p.cap_s + f64::EPSILON, "delay {d} above cap {}", p.cap_s);
+            }
+            // Jitter only shortens: every delay is at least (1-jitter)
+            // of its deterministic value.
+            let clean = BackoffPolicy { jitter: 0.0, ..p }.schedule(seed);
+            for (d, c) in s.iter().zip(&clean) {
+                prop_assert!(*d <= *c + f64::EPSILON);
+                prop_assert!(*d >= *c * (1.0 - p.jitter) - f64::EPSILON);
+            }
+        }
+
+        #[test]
+        fn jitter_free_schedule_is_seed_invariant(
+            seed_a in any::<u64>(),
+            seed_b in any::<u64>(),
+            base_ms in 1u64..1000,
+            budget in 0u32..16,
+        ) {
+            let p = BackoffPolicy::doubling(base_ms as f64 * 1e-3, budget);
+            prop_assert_eq!(p.schedule(seed_a), p.schedule(seed_b));
+        }
+    }
+}

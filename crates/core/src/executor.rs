@@ -20,9 +20,11 @@
 //! [`SweepReport::failures`] while every other experiment still
 //! completes — one sick model no longer tears down the whole sweep.
 
+use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Mutex, Once};
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use maia_omp::{LoopState, Schedule, Team};
@@ -60,6 +62,10 @@ pub enum FailureKind {
     /// The wall-clock watchdog expired before the experiment yielded a
     /// result.
     Timeout,
+    /// A partition worker process crashed or went silent and the
+    /// supervisor's retry budget (and, if disabled, in-process
+    /// degradation) could not recover the run.
+    WorkerLost,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -68,6 +74,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Deadlock => "deadlock",
             FailureKind::Timeout => "timeout",
+            FailureKind::WorkerLost => "worker-lost",
         })
     }
 }
@@ -320,6 +327,94 @@ fn exclusive_walls(intervals: &[Option<(f64, f64)>]) -> Vec<Option<f64>> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Guard-thread lifecycle: cancellation + reaping
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The cancellation flag of the guard thread this code runs on, set
+    /// by the watchdog when its budget expires. `None` off guard threads.
+    static GUARD_CANCEL: RefCell<Option<Arc<AtomicBool>>> = const { RefCell::new(None) };
+}
+
+/// True on an experiment guard thread whose watchdog has already fired.
+/// Long-running cooperative loops (the forced-hang injector, supervisor
+/// waits) poll this and bail out so the thread can be reaped instead of
+/// lingering into subsequent experiments.
+pub fn guard_cancelled() -> bool {
+    GUARD_CANCEL.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Acquire))
+    })
+}
+
+/// A timed-out guard thread that refused the cancellation grace period:
+/// detached, but tracked so it is joined as soon as it finishes instead
+/// of leaking silently.
+struct ZombieGuard {
+    code: &'static str,
+    handle: std::thread::JoinHandle<()>,
+}
+
+static ZOMBIES: Mutex<Vec<ZombieGuard>> = Mutex::new(Vec::new());
+static REAPED: AtomicU64 = AtomicU64::new(0);
+
+/// Join every detached guard thread that has since finished. Called
+/// before each guarded run, so a hung-then-woken guard is collected by
+/// the next experiment rather than never.
+fn reap_finished_guards() {
+    let mut zombies = ZOMBIES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut kept = Vec::new();
+    for z in zombies.drain(..) {
+        if z.handle.is_finished() {
+            let _ = z.handle.join();
+            REAPED.fetch_add(1, Ordering::Relaxed);
+        } else {
+            kept.push(z);
+        }
+    }
+    *zombies = kept;
+}
+
+/// Watchdog bookkeeping snapshot: how many timed-out guard threads are
+/// still detached (alive past cancellation) and how many were joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Detached guard threads not yet finished.
+    pub zombies: usize,
+    /// Guard threads joined after a timeout (at cancellation or later).
+    pub reaped: u64,
+}
+
+/// Current [`WatchdogStats`]; reaps finished detached guards first so
+/// the zombie count reflects threads that are actually still running.
+pub fn watchdog_stats() -> WatchdogStats {
+    reap_finished_guards();
+    WatchdogStats {
+        zombies: ZOMBIES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len(),
+        reaped: REAPED.load(Ordering::Relaxed),
+    }
+}
+
+/// Experiment codes of detached guard threads still running.
+pub fn zombie_guard_codes() -> Vec<&'static str> {
+    reap_finished_guards();
+    ZOMBIES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|z| z.code)
+        .collect()
+}
+
+/// How long the watchdog waits, after setting the cancellation flag,
+/// for the guard thread to reach a cancellation point and exit.
+const CANCEL_GRACE: Duration = Duration::from_millis(500);
+
 /// Watchdog budget per experiment (`MAIA_EXPERIMENT_TIMEOUT_S`,
 /// default 300 s — far above any healthy experiment's wall time).
 fn watchdog_timeout() -> Duration {
@@ -361,21 +456,31 @@ fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Run one experiment on a dedicated guard thread under `catch_unwind`,
 /// with the wall-clock watchdog. Panics become [`FailureKind::Panic`]
 /// (or [`FailureKind::Deadlock`] when the payload is a rendered
-/// `SimError::Deadlock`); a blown watchdog abandons the hung thread and
-/// returns [`FailureKind::Timeout`].
+/// `SimError::Deadlock`); a blown watchdog cancels the guard thread,
+/// joins it if it reaches a cancellation point within the grace period,
+/// and otherwise detaches it into the zombie registry (joined by a
+/// later [`reap_finished_guards`] pass) — either way the failure is
+/// [`FailureKind::Timeout`] and the thread never bleeds its state into
+/// a subsequent experiment's failure.
 fn run_experiment_guarded(id: ExperimentId) -> Result<FigureData, ExperimentFailure> {
     install_quiet_experiment_hook();
+    reap_finished_guards();
     let code = id.meta().code;
     let t0 = Instant::now();
     let timeout = watchdog_timeout();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let cancel_in = Arc::clone(&cancel);
     let (tx, rx) = mpsc::channel();
     let handle = std::thread::Builder::new()
         .name(format!("maia-exp-{code}"))
         .spawn(move || {
+            GUARD_CANCEL.with(|c| *c.borrow_mut() = Some(cancel_in));
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 crate::faults::forced_failure_trigger(id);
                 run_experiment_cached(id)
             }));
+            // After a timeout the receiver is gone; the send failing is
+            // exactly how a cancelled guard retires quietly.
             let _ = tx.send(result);
         })
         .expect("failed to spawn experiment guard thread");
@@ -390,6 +495,10 @@ fn run_experiment_guarded(id: ExperimentId) -> Result<FigureData, ExperimentFail
             let detail = payload_to_string(payload);
             let kind = if detail.contains("simulation deadlocked") {
                 FailureKind::Deadlock
+            } else if detail.contains("worker for wheel") {
+                // The supervisor's give-up panic carries the WorkerLoss
+                // rendering (wheel, window, virtual time, cause).
+                FailureKind::WorkerLost
             } else {
                 FailureKind::Panic
             };
@@ -401,16 +510,38 @@ fn run_experiment_guarded(id: ExperimentId) -> Result<FigureData, ExperimentFail
             })
         }
         Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-            // The thread is hung (or died without sending); abandon it —
-            // there is no portable way to kill it — and report the
-            // watchdog verdict. Dropping `handle` detaches the thread.
+            // Signal cancellation, then give cooperative code (the
+            // forced-hang loop, supervisor waits) a short grace period
+            // to unwind so the thread can be joined right here.
+            cancel.store(true, Ordering::Release);
+            let grace_deadline = Instant::now() + CANCEL_GRACE;
+            while !handle.is_finished() && Instant::now() < grace_deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let reaped = handle.is_finished();
+            if reaped {
+                let _ = handle.join();
+                REAPED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Truly stuck (no portable way to kill a thread): track
+                // it so a later pass joins it the moment it finishes.
+                ZOMBIES
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(ZombieGuard { code, handle });
+            }
             Err(ExperimentFailure {
                 id,
                 kind: FailureKind::Timeout,
                 detail: format!(
                     "no result within the {:.0} s watchdog (MAIA_EXPERIMENT_TIMEOUT_S); \
-                     guard thread abandoned",
-                    timeout.as_secs_f64()
+                     guard thread {}",
+                    timeout.as_secs_f64(),
+                    if reaped {
+                        "cancelled and reaped"
+                    } else {
+                        "detached pending reap"
+                    }
                 ),
                 wall: t0.elapsed(),
             })

@@ -35,10 +35,21 @@ fn total_ranks(nodes: usize) -> usize {
 /// are partition-invariant, but hiding that behind a cache hit would
 /// defeat the invariance tests.
 pub fn cached_cluster_time(nodes: usize, bytes: u64, op: CollectiveOp) -> f64 {
-    let key = format!(
-        "cluster/{nodes}/{bytes}/{op:?}/p{}",
-        maia_mpi::partition::partitions()
-    );
+    let backend = maia_mpi::process_backend::backend();
+    // The backend tag keeps a process-backend run from serving a
+    // channel-backend sweep's cached value (and vice versa) inside the
+    // byte-identity harness; values are backend-invariant, but the
+    // identity tests must see both backends actually run.
+    let key = match backend {
+        maia_mpi::process_backend::Backend::Channel => format!(
+            "cluster/{nodes}/{bytes}/{op:?}/p{}",
+            maia_mpi::partition::partitions()
+        ),
+        maia_mpi::process_backend::Backend::Process => format!(
+            "cluster/{nodes}/{bytes}/{op:?}/p{}/process",
+            maia_mpi::partition::partitions()
+        ),
+    };
     // The partition stats are recorded *outside* the memo compute so the
     // window/message counters land on the experiment's own sink (the
     // determinism battery pins them per experiment); the engine's virtual
@@ -49,7 +60,19 @@ pub fn cached_cluster_time(nodes: usize, bytes: u64, op: CollectiveOp) -> f64 {
             maia_mpi::fastpath::cluster_collective_time(nodes, bytes, op)
         }
         maia_mpi::fastpath::SelectedEngine::Des => {
-            let (time_s, stats) = cluster_collective_run(nodes, bytes, op);
+            let (time_s, stats) = match backend {
+                maia_mpi::process_backend::Backend::Channel => {
+                    cluster_collective_run(nodes, bytes, op)
+                }
+                maia_mpi::process_backend::Backend::Process => {
+                    crate::supervise::supervised_cluster_run(
+                        nodes,
+                        bytes,
+                        op,
+                        maia_mpi::partition::partitions(),
+                    )
+                }
+            };
             recorded = Some(stats);
             time_s
         }

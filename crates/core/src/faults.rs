@@ -352,9 +352,14 @@ pub fn activate(plan: &FaultPlan) -> ActiveFaults {
                 maia_mem::faults::set_gddr_disabled_banks(disabled_banks);
             }
             Fault::DegradedLink { extra_retries, timeout_us } => {
+                // Jitter-free doubling: the schedule is a pure function
+                // of the fault parameters (the golden resilience report
+                // pins every injected picosecond), so the plan seed is
+                // irrelevant here by construction.
+                let schedule = crate::backoff::BackoffPolicy::doubling(timeout_us * 1e-6, extra_retries)
+                    .schedule(plan.seed);
                 maia_mpi::faults::set_link_fault(Some(maia_mpi::faults::LinkFault {
-                    extra_retries,
-                    timeout_us,
+                    timeouts_s: schedule,
                 }));
             }
         }
@@ -720,7 +725,14 @@ pub(crate) fn forced_failure_trigger(id: ExperimentId) {
             }
         }
         ForcedFailure::Hang => loop {
-            std::thread::sleep(std::time::Duration::from_millis(50));
+            // Cooperative cancellation point: once the executor's
+            // watchdog gives up on this experiment, stop hanging so the
+            // guard thread can be joined instead of leaking into later
+            // experiments.
+            if crate::executor::guard_cancelled() {
+                panic!("injected fault: forced hang cancelled by watchdog");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
         },
     }
 }

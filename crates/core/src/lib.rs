@@ -16,6 +16,7 @@
 //! The per-figure binaries in `maia-bench` and the EXPERIMENTS.md report
 //! are thin wrappers over this API.
 
+pub mod backoff;
 pub mod cache;
 pub mod crosscheck;
 pub mod executor;
@@ -24,6 +25,7 @@ pub mod faults;
 pub mod figdata;
 pub mod oracle;
 pub mod paper;
+pub mod supervise;
 pub mod telemetry;
 
 pub use executor::{

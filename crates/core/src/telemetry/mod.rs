@@ -184,6 +184,43 @@ struct Global {
     keys: Mutex<BTreeMap<String, SharedSink>>,
     wall_spans: Mutex<Vec<WallSpan>>,
     omp_regions: AtomicU64,
+    supervise: SuperviseAtomics,
+}
+
+#[derive(Default)]
+struct SuperviseAtomics {
+    workers_lost: AtomicU64,
+    respawns: AtomicU64,
+    missed_heartbeats: AtomicU64,
+    degraded: AtomicU64,
+    backoff_wait_ms: AtomicU64,
+}
+
+/// Wall-side health counters of the process-backend supervisor. These
+/// describe *this machine's* behaviour (crashes observed, heartbeats
+/// missed, respawn waits), never the simulation — they live outside the
+/// sink stack precisely so the virtual-side telemetry stays bit-identical
+/// between the channel and process backends even under fault injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperviseCounters {
+    /// Worker processes declared lost (crash or heartbeat deadline).
+    pub workers_lost: u64,
+    /// Respawn attempts the supervisor made after a loss.
+    pub respawns: u64,
+    /// Heartbeat intervals that elapsed without a worker frame.
+    pub missed_heartbeats: u64,
+    /// Runs that exhausted the retry budget and were re-run in-process.
+    pub degraded: u64,
+    /// Total milliseconds spent in pre-respawn backoff waits.
+    pub backoff_wait_ms: u64,
+}
+
+impl SuperviseCounters {
+    /// True when nothing supervision-worthy happened (the common case —
+    /// reports omit the bucket entirely then).
+    pub fn is_zero(&self) -> bool {
+        *self == SuperviseCounters::default()
+    }
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -196,6 +233,7 @@ fn global() -> &'static Global {
         keys: Mutex::new(BTreeMap::new()),
         wall_spans: Mutex::new(Vec::new()),
         omp_regions: AtomicU64::new(0),
+        supervise: SuperviseAtomics::default(),
     })
 }
 
@@ -431,6 +469,46 @@ pub fn omp_regions() -> u64 {
     global().omp_regions.load(Ordering::Relaxed)
 }
 
+/// A worker process was declared lost (crash or heartbeat deadline).
+pub fn record_worker_lost() {
+    global().supervise.workers_lost.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The supervisor is about to respawn after waiting `backoff`.
+pub fn record_respawn(backoff: std::time::Duration) {
+    let s = &global().supervise;
+    s.respawns.fetch_add(1, Ordering::Relaxed);
+    s.backoff_wait_ms
+        .fetch_add(backoff.as_millis() as u64, Ordering::Relaxed);
+}
+
+/// `n` heartbeat intervals elapsed without a frame from some worker.
+pub fn record_missed_heartbeats(n: u64) {
+    if n > 0 {
+        global()
+            .supervise
+            .missed_heartbeats
+            .fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A run exhausted its retry budget and degraded to in-process execution.
+pub fn record_degraded() {
+    global().supervise.degraded.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the supervisor's wall-side health counters.
+pub fn supervise_counters() -> SuperviseCounters {
+    let s = &global().supervise;
+    SuperviseCounters {
+        workers_lost: s.workers_lost.load(Ordering::Relaxed),
+        respawns: s.respawns.load(Ordering::Relaxed),
+        missed_heartbeats: s.missed_heartbeats.load(Ordering::Relaxed),
+        degraded: s.degraded.load(Ordering::Relaxed),
+        backoff_wait_ms: s.backoff_wait_ms.load(Ordering::Relaxed),
+    }
+}
+
 /// Snapshot accessors used by [`report`].
 pub(crate) fn snapshot_experiments() -> Vec<(String, SharedSink)> {
     global()
@@ -476,6 +554,15 @@ pub fn reset_recorded() {
         .unwrap_or_else(PoisonError::into_inner)
         .clear();
     g.omp_regions.store(0, Ordering::Relaxed);
+    for c in [
+        &g.supervise.workers_lost,
+        &g.supervise.respawns,
+        &g.supervise.missed_heartbeats,
+        &g.supervise.degraded,
+        &g.supervise.backoff_wait_ms,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,10 @@ pub struct ProfileReport {
     /// Parallel regions observed since telemetry was enabled (wall
     /// section; includes regions inside experiment kernels).
     pub omp_regions: u64,
+    /// Process-backend supervisor health (wall section): worker losses,
+    /// respawns, missed heartbeats, degraded runs, backoff waits. All
+    /// zero under the channel backend or a fault-free process run.
+    pub supervise: super::SuperviseCounters,
 }
 
 /// Build the profile for `sweep` from everything recorded so far.
@@ -255,6 +259,7 @@ pub fn collect(sweep: &SweepReport) -> ProfileReport {
         workers,
         wall_spans,
         omp_regions: super::omp_regions(),
+        supervise: super::supervise_counters(),
     }
 }
 
@@ -345,6 +350,15 @@ impl ProfileReport {
         o.push_str("  \"wall\": {\n");
         o.push_str(&format!("    \"wall_s\": {:.6},\n", self.wall_s));
         o.push_str(&format!("    \"omp_regions\": {},\n", self.omp_regions));
+        o.push_str(&format!(
+            "    \"supervise\": {{ \"workers_lost\": {}, \"respawns\": {}, \
+             \"missed_heartbeats\": {}, \"degraded\": {}, \"backoff_wait_ms\": {} }},\n",
+            self.supervise.workers_lost,
+            self.supervise.respawns,
+            self.supervise.missed_heartbeats,
+            self.supervise.degraded,
+            self.supervise.backoff_wait_ms,
+        ));
         o.push_str("    \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             o.push_str(&format!(
@@ -435,6 +449,17 @@ impl ProfileReport {
             self.jobs,
             self.omp_regions,
         ));
+        if !self.supervise.is_zero() {
+            o.push_str(&format!(
+                "Supervisor: {} worker(s) lost, {} respawn(s), {} missed heartbeat(s), \
+                 {} degraded run(s), {} ms in backoff.\n\n",
+                self.supervise.workers_lost,
+                self.supervise.respawns,
+                self.supervise.missed_heartbeats,
+                self.supervise.degraded,
+                self.supervise.backoff_wait_ms,
+            ));
+        }
         o.push_str("| worker | busy (ms) | utilization |\n|---:|---:|---:|\n");
         for w in &self.workers {
             o.push_str(&format!(
@@ -637,6 +662,7 @@ mod tests {
                 cat: "wall-exp",
             }],
             omp_regions: 7,
+            supervise: crate::telemetry::SuperviseCounters::default(),
         }
     }
 

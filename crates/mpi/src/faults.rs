@@ -29,12 +29,17 @@ pub struct Straggler {
     pub from_s: f64,
 }
 
-/// A degraded link: every DAPL (PCIe-crossing) message pays
-/// `extra_retries` timeout/retransmit rounds with exponential backoff.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A degraded link: every DAPL (PCIe-crossing) message pays one
+/// timeout/retransmit round per entry of `timeouts_s` before
+/// succeeding. The schedule is precomputed by the caller —
+/// `maia_core::backoff::BackoffPolicy` builds the classic exponential
+/// doubling sequence — so this crate stays free of backoff policy and
+/// the arithmetic is shared with the supervisor's respawn delays.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkFault {
-    pub extra_retries: u32,
-    pub timeout_us: f64,
+    /// Per-failed-attempt timeout, seconds, in attempt order. Each
+    /// failed attempt additionally wastes one wire transmission.
+    pub timeouts_s: Vec<f64>,
 }
 
 #[derive(Default)]
@@ -133,9 +138,9 @@ pub(crate) fn stretched_compute(rank: u32, now_s: f64, dur: SimDuration) -> SimD
     stretched
 }
 
-/// Extra seconds a DAPL message pays on a degraded link:
-/// `extra_retries` failed attempts, each costing the (exponentially
-/// backed-off) timeout plus a wasted wire transmission of `base_s`.
+/// Extra seconds a DAPL message pays on a degraded link: one failed
+/// attempt per schedule entry, each costing that (pre-backed-off)
+/// timeout plus a wasted wire transmission of `base_s`.
 pub(crate) fn link_retry_extra_s(base_s: f64) -> f64 {
     if !ACTIVE.load(Ordering::Acquire) {
         return 0.0;
@@ -143,15 +148,10 @@ pub(crate) fn link_retry_extra_s(base_s: f64) -> f64 {
     let cfg = config_slot()
         .read()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let Some(link) = cfg.link else {
+    let Some(link) = cfg.link.as_ref() else {
         return 0.0;
     };
-    let mut extra = 0.0;
-    let mut timeout_s = link.timeout_us * 1e-6;
-    for _ in 0..link.extra_retries {
-        extra += timeout_s + base_s;
-        timeout_s *= 2.0;
-    }
+    let extra: f64 = link.timeouts_s.iter().map(|t| t + base_s).sum();
     if extra > 0.0 {
         note_injected_s(extra);
     }

@@ -36,6 +36,7 @@ pub mod faults;
 pub mod memory;
 pub mod partition;
 pub mod placement;
+pub mod process_backend;
 pub mod transport;
 pub mod world;
 

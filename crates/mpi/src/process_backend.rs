@@ -1,0 +1,476 @@
+//! The multi-process cluster backend: run the partitioned cluster
+//! collectives with wheels `1..n` hosted in child worker processes,
+//! wheel 0 and the window router in the calling (hub) process.
+//!
+//! The hub and every worker rebuild the identical world from a tiny
+//! [`ClusterJob`] description — the simulation is a pure function of
+//! `(nodes, bytes, op, partitions)` — so the only state on the wire is
+//! the window-barrier exchange itself plus one final report per worker.
+//! That is what makes the backend byte-identical to the in-process
+//! channel backend at every partition count: same domains, same fold,
+//! same lookahead, same message ordering keys.
+//!
+//! Worker processes are spawned by the caller (normally the supervisor
+//! in `maia-core`); this module provides the hub entry point
+//! ([`cluster_collective_run_process`]), the worker entry point
+//! ([`worker_main`], called by the `maia-bench partition-worker`
+//! subcommand), the process-global backend selector, and the
+//! `MAIA_WORKER_CHAOS` fault-injection hooks the chaos battery drives.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use maia_sim::partition::process::{wire, WireItem};
+use maia_sim::partition::{PartitionRunStats, ProcessConfig, WorkerEndpoint};
+use maia_sim::{SimDuration, SimTime};
+
+use crate::bench::CollectiveOp;
+use crate::partition::PartitionPlan;
+use crate::placement::WorldSpec;
+use crate::world::{MpiWorld, Msg, ProcessWorldError, Rank};
+
+/// Which transport carries the window-barrier exchanges of a
+/// partitioned cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process: every wheel on its own thread, exchanges over
+    /// channels. The default.
+    Channel,
+    /// Multi-process: wheels `1..n` in supervised child processes,
+    /// exchanges over pipes.
+    Process,
+}
+
+impl Backend {
+    /// Parse a CLI spelling: `channel` or `process`.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "channel" => Some(Backend::Channel),
+            "process" => Some(Backend::Process),
+            _ => None,
+        }
+    }
+
+    /// CLI spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Channel => "channel",
+            Backend::Process => "process",
+        }
+    }
+}
+
+/// Process-global backend selector, set from the CLI (`--backend`) and
+/// read by the cluster experiment family. Defaults to `Channel`.
+static BACKEND: AtomicUsize = AtomicUsize::new(0);
+
+/// Select the exchange backend partitioned cluster runs should use.
+pub fn set_backend(b: Backend) {
+    BACKEND.store(
+        match b {
+            Backend::Channel => 0,
+            Backend::Process => 1,
+        },
+        Ordering::SeqCst,
+    );
+}
+
+/// The currently selected exchange backend.
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::SeqCst) {
+        0 => Backend::Channel,
+        _ => Backend::Process,
+    }
+}
+
+/// Wheel count a cluster run actually uses: more wheels than domains
+/// would idle, so `--partitions 8` on a 4-node world clamps to 4 (the
+/// same clamp [`crate::bench::cluster_collective_run_with`] applies).
+pub fn effective_partitions(nodes: usize, partitions: usize) -> usize {
+    partitions.min(nodes).max(1)
+}
+
+impl WireItem for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, self.src as u32);
+        wire::put_u32(out, self.tag as u32);
+        wire::put_u64(out, self.bytes);
+        match &self.data {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                wire::put_u32(out, v.len() as u32);
+                for &x in v {
+                    wire::put_f64(out, x);
+                }
+            }
+        }
+        wire::put_u64(out, self.ready.as_ps());
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Option<Self> {
+        let src = r.take_u32()? as usize;
+        let tag = r.take_u32()? as i32;
+        let bytes = r.take_u64()?;
+        let data = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let n = r.take_u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    v.push(r.take_f64()?);
+                }
+                Some(v)
+            }
+            _ => return None,
+        };
+        let ready = SimTime::ZERO + SimDuration::from_ps(r.take_u64()?);
+        Some(Msg {
+            src,
+            tag,
+            bytes,
+            data,
+            ready,
+        })
+    }
+}
+
+/// Everything a worker needs to rebuild its share of a cluster
+/// collective run. Sent as the opaque job payload of the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterJob {
+    /// Cluster size (one leader rank per node).
+    pub nodes: usize,
+    /// Collective payload bytes.
+    pub bytes: u64,
+    /// Which collective.
+    pub op: CollectiveOp,
+    /// Effective wheel count (already clamped to `nodes`).
+    pub partitions: usize,
+    /// The wheel this worker hosts (`1..partitions`).
+    pub wheel: usize,
+    /// Whether the hub carries a telemetry probe — when set, the worker
+    /// records its wheel's probe stream and ships it home in the report.
+    pub probe: bool,
+}
+
+fn op_code(op: CollectiveOp) -> u8 {
+    match op {
+        CollectiveOp::Bcast => 0,
+        CollectiveOp::Allreduce => 1,
+        CollectiveOp::Allgather => 2,
+        CollectiveOp::Alltoall => 3,
+    }
+}
+
+fn op_from(code: u8) -> Option<CollectiveOp> {
+    match code {
+        0 => Some(CollectiveOp::Bcast),
+        1 => Some(CollectiveOp::Allreduce),
+        2 => Some(CollectiveOp::Allgather),
+        3 => Some(CollectiveOp::Alltoall),
+        _ => None,
+    }
+}
+
+impl ClusterJob {
+    /// Serialize for the handshake's job frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u32(&mut out, self.nodes as u32);
+        wire::put_u64(&mut out, self.bytes);
+        out.push(op_code(self.op));
+        wire::put_u32(&mut out, self.partitions as u32);
+        wire::put_u32(&mut out, self.wheel as u32);
+        out.push(self.probe as u8);
+        out
+    }
+
+    /// Inverse of [`ClusterJob::encode`]; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<ClusterJob> {
+        let mut r = wire::Reader::new(bytes);
+        let job = ClusterJob {
+            nodes: r.take_u32()? as usize,
+            bytes: r.take_u64()?,
+            op: op_from(r.take_u8()?)?,
+            partitions: r.take_u32()? as usize,
+            wheel: r.take_u32()? as usize,
+            probe: r.take_u8()? != 0,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(job)
+    }
+}
+
+/// The rank program of a cluster collective, shared verbatim by the hub
+/// and every worker (and semantically identical to the closure inside
+/// [`crate::bench::cluster_collective_run_plan`]): intra-node phase,
+/// inter-node collective, intra-node phase.
+fn cluster_program(
+    bytes: u64,
+    op: CollectiveOp,
+) -> impl Fn(Rank) -> std::pin::Pin<Box<dyn std::future::Future<Output = Rank> + Send>>
+       + Send
+       + Sync
+       + 'static {
+    let (pre, post) = crate::fastpath::cluster_intra_phases(bytes, op);
+    move |mut rank| {
+        Box::pin(async move {
+            rank.compute(pre).await;
+            match op {
+                CollectiveOp::Allreduce => rank.allreduce(bytes).await,
+                CollectiveOp::Alltoall => rank.alltoall(bytes).await,
+                other => panic!("cluster collectives cover allreduce and alltoall, not {other:?}"),
+            }
+            rank.compute(post).await;
+            rank
+        })
+    }
+}
+
+/// Hub entry point: run one cluster collective across already-spawned
+/// worker processes (`workers[i]` hosts wheel `i + 1`). Returns the
+/// completion time in seconds, the partition-run statistics, and the
+/// number of heartbeat intervals that passed without a worker frame
+/// (wall-side health telemetry — never part of the deterministic
+/// result). The time, statistics and virtual telemetry are bit-identical
+/// to [`crate::bench::cluster_collective_run_with`] over the same
+/// `(nodes, bytes, op, partitions)`.
+pub fn cluster_collective_run_process(
+    nodes: usize,
+    bytes: u64,
+    op: CollectiveOp,
+    partitions: usize,
+    workers: Vec<(Box<dyn Read + Send>, Box<dyn Write + Send>)>,
+    cfg: ProcessConfig,
+) -> Result<(f64, PartitionRunStats, u64), ProcessWorldError> {
+    let eff = effective_partitions(nodes, partitions);
+    let plan = PartitionPlan::by_node(eff);
+    let spec = WorldSpec::node_leaders(nodes);
+    let probe = maia_sim::probe::probe_for_current_thread().is_some();
+    let jobs: Vec<Vec<u8>> = (1..eff)
+        .map(|wheel| {
+            ClusterJob {
+                nodes,
+                bytes,
+                op,
+                partitions: eff,
+                wheel,
+                probe,
+            }
+            .encode()
+        })
+        .collect();
+    let (res, stats, missed) = MpiWorld::run_partitioned_hub(
+        &spec,
+        &plan,
+        cluster_program(bytes, op),
+        workers,
+        jobs,
+        cfg,
+    )?;
+    Ok((res.end_time.as_secs_f64(), stats, missed))
+}
+
+/// Fault injection for the chaos battery, selected by the
+/// `MAIA_WORKER_CHAOS` environment variable in the *worker* process:
+///
+/// * `panic-on-connect` — die before the handshake (startup crash),
+/// * `stall` — handshake, then go silent forever (hang; the hub's
+///   heartbeat deadline converts it into a loss),
+/// * `kill:<window>` — abort without ceremony right before exchange
+///   `<window>` (SIGKILL mid-run).
+///
+/// Appending `:once` arms the fault only on the first spawn attempt
+/// (`MAIA_WORKER_ATTEMPT=0`), so a supervised respawn heals it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chaos {
+    PanicOnConnect,
+    Stall,
+    KillAtWindow(u64),
+}
+
+fn chaos_mode() -> Option<Chaos> {
+    let raw = std::env::var("MAIA_WORKER_CHAOS").ok()?;
+    let (spec, once) = match raw.strip_suffix(":once") {
+        Some(s) => (s.to_string(), true),
+        None => (raw, false),
+    };
+    if once {
+        let attempt: u64 = std::env::var("MAIA_WORKER_ATTEMPT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if attempt > 0 {
+            return None;
+        }
+    }
+    match spec.as_str() {
+        "panic-on-connect" => Some(Chaos::PanicOnConnect),
+        "stall" => Some(Chaos::Stall),
+        _ => spec
+            .strip_prefix("kill:")
+            .and_then(|w| w.parse().ok())
+            .map(Chaos::KillAtWindow),
+    }
+}
+
+/// Worker entry point, called by the `maia-bench partition-worker`
+/// subcommand with the process's stdin/stdout as the pipe pair. Performs
+/// the handshake, rebuilds the world described by the job payload,
+/// drives its wheel to completion and ships the report. Nothing in the
+/// worker may print to the stdout side — it *is* the protocol channel.
+pub fn worker_main(
+    wheel: usize,
+    partitions: usize,
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    cfg: ProcessConfig,
+) -> io::Result<()> {
+    let chaos = chaos_mode();
+    if chaos == Some(Chaos::PanicOnConnect) {
+        // Crash during startup, before the hub ever hears from us.
+        std::process::exit(101);
+    }
+    let (endpoint, job) = WorkerEndpoint::<Msg>::connect(wheel, partitions, reader, writer, cfg)?;
+    let job = ClusterJob::decode(&job).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "malformed cluster job payload")
+    })?;
+    if job.wheel != wheel || job.partitions != partitions {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "job is for wheel {}/{} but this worker is {wheel}/{partitions}",
+                job.wheel, job.partitions
+            ),
+        ));
+    }
+    if chaos == Some(Chaos::Stall) {
+        // Handshake succeeded; now go silent. The hub's heartbeat
+        // deadline turns this into a WorkerLoss; the supervisor kills us.
+        endpoint.stop_heartbeats();
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let kill_at = match chaos {
+        Some(Chaos::KillAtWindow(w)) => Some(w),
+        _ => None,
+    };
+    let spec = WorldSpec::node_leaders(job.nodes);
+    let plan = PartitionPlan::by_node(job.partitions);
+    MpiWorld::run_partitioned_worker(
+        &spec,
+        &plan,
+        cluster_program(job.bytes, job.op),
+        wheel,
+        endpoint,
+        job.probe,
+        kill_at,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixStream;
+
+    fn fast_cfg() -> ProcessConfig {
+        ProcessConfig {
+            heartbeat_interval: std::time::Duration::from_millis(20),
+            heartbeat_deadline: std::time::Duration::from_millis(2000),
+            handshake_deadline: std::time::Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn cluster_job_roundtrips() {
+        let job = ClusterJob {
+            nodes: 32,
+            bytes: 65536,
+            op: CollectiveOp::Alltoall,
+            partitions: 4,
+            wheel: 3,
+            probe: true,
+        };
+        assert_eq!(ClusterJob::decode(&job.encode()), Some(job));
+        assert_eq!(ClusterJob::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn msg_roundtrips_through_the_wire() {
+        let msgs = [
+            Msg {
+                src: 7,
+                tag: -3,
+                bytes: 4096,
+                data: Some(vec![1.5, -2.25, 0.0]),
+                ready: SimTime::ZERO + SimDuration::from_ps(123_456_789),
+            },
+            Msg {
+                src: 0,
+                tag: 0,
+                bytes: 0,
+                data: None,
+                ready: SimTime::ZERO,
+            },
+        ];
+        for m in msgs {
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            let mut r = wire::Reader::new(&buf);
+            let back = Msg::decode(&mut r).expect("decodes");
+            assert_eq!(back.src, m.src);
+            assert_eq!(back.tag, m.tag);
+            assert_eq!(back.bytes, m.bytes);
+            assert_eq!(back.data, m.data);
+            assert_eq!(back.ready, m.ready);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    /// The full hub/worker protocol, with `worker_main` running on
+    /// threads over socket pairs instead of child processes, lands on
+    /// the exact end time of the in-process channel backend.
+    #[test]
+    fn process_protocol_matches_channel_backend() {
+        for &(nodes, partitions) in &[(8usize, 2usize), (8, 4)] {
+            let (want, want_stats) =
+                crate::bench::cluster_collective_run_with(nodes, 4096, CollectiveOp::Allreduce, partitions);
+
+            let eff = effective_partitions(nodes, partitions);
+            let mut workers: Vec<(Box<dyn Read + Send>, Box<dyn Write + Send>)> = Vec::new();
+            let mut threads = Vec::new();
+            for wheel in 1..eff {
+                let (hub_side, worker_side) = UnixStream::pair().expect("socketpair");
+                workers.push((
+                    Box::new(hub_side.try_clone().expect("clone")),
+                    Box::new(hub_side),
+                ));
+                threads.push(std::thread::spawn(move || {
+                    let r: Box<dyn Read + Send> =
+                        Box::new(worker_side.try_clone().expect("clone"));
+                    let w: Box<dyn Write + Send> = Box::new(worker_side);
+                    worker_main(wheel, eff, r, w, fast_cfg())
+                }));
+            }
+            let (got, got_stats, _missed) = cluster_collective_run_process(
+                nodes,
+                4096,
+                CollectiveOp::Allreduce,
+                partitions,
+                workers,
+                fast_cfg(),
+            )
+            .expect("process run completes");
+            for t in threads {
+                t.join().expect("worker thread").expect("worker io");
+            }
+            assert_eq!(got.to_bits(), want.to_bits(), "p={partitions}");
+            assert_eq!(got_stats.windows, want_stats.windows, "p={partitions}");
+            assert_eq!(got_stats.messages, want_stats.messages, "p={partitions}");
+        }
+    }
+}

@@ -2,16 +2,19 @@
 //! with `(source, tag)` matching.
 
 use std::future::Future;
+use std::io::{Read, Write};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use maia_sim::channel::SimChannel;
+use maia_sim::partition::process::{replay_probe, wire, RecordingProbe};
 use maia_sim::partition::{
-    local_bus, register_global_process, Outbox, PartitionProbe, PartitionRunStats, ProbeBundle,
-    RemoteMsg, Wheel,
+    drive_wheel, finalize_partitioned, local_bus, register_global_process, ExchangeOutcome, Outbox,
+    PartitionProbe, PartitionRunStats, ProbeBundle, ProcessCommunicator, ProcessConfig,
+    RemoteMsg, SimCommunicator, Wheel, WorkerEndpoint, WorkerLoss,
 };
-use maia_sim::{Engine, InjectCtx, SimCtx, SimDuration, SimError, SimTime};
+use maia_sim::{Engine, InjectCtx, Probe, SimCtx, SimDuration, SimError, SimTime};
 
 use crate::partition::{lookahead, PartitionPlan};
 use crate::placement::{RankPlacement, WorldSpec};
@@ -188,15 +191,244 @@ impl MpiWorld {
         F: Fn(Rank) -> Fut + Send + Sync + 'static,
         Fut: Future<Output = Rank> + Send + 'static,
     {
+        let setup = PartitionSetup::new(spec, plan, program);
+        let n = setup.partitions;
+        // One experiment probe shared by every wheel; rank names are
+        // registered in global order up front so probe-side tables match
+        // a single-wheel run (per-wheel spawn notifications are
+        // suppressed by the PartitionProbe wrapper).
+        let probe = maia_sim::probe::probe_for_current_thread();
+        if let Some(p) = &probe {
+            setup.register_global_names(&**p);
+        }
+        let mut wheels: Vec<Wheel<Msg>> = Vec::with_capacity(n);
+        let mut wheel_probes = Vec::new();
+        for w in 0..n {
+            let pp = probe.as_ref().map(|p| {
+                Arc::new(PartitionProbe::new(Arc::clone(p), setup.local_ranks(w)))
+            });
+            if let Some(pp) = &pp {
+                wheel_probes.push(Arc::clone(pp));
+            }
+            wheels.push(setup.build_wheel(w, pp.map(|p| p as Arc<dyn Probe>)));
+        }
+        let bundle = probe.map(|p| ProbeBundle { inner: p, wheel_probes });
+        let (end_time, run_stats) = maia_sim::partition::run_partitioned(
+            wheels,
+            local_bus::<Msg>(n),
+            setup.window,
+            bundle,
+        )?;
+        Ok((setup.world_result(end_time), run_stats))
+    }
+
+    /// Hub side of the multi-process backend: host wheel 0 on the
+    /// calling thread, route every window exchange of wheels `1..n`
+    /// living in already-spawned worker processes (pipe pairs in
+    /// `workers`, one opaque job payload each in `jobs`), and merge the
+    /// workers' reports. Produces the same `WorldResult`, partition
+    /// statistics and virtual-side telemetry as [`MpiWorld::run_partitioned`]
+    /// over the same plan, bit for bit — the window protocol is
+    /// identical, only the transport differs.
+    ///
+    /// Worker crashes and heartbeat-deadline hangs come back as
+    /// [`ProcessWorldError::Lost`]; deterministic simulation failures
+    /// (deadlock, rank panic) as [`ProcessWorldError::Sim`], exactly as
+    /// the in-process backend reports them. Retry/backoff policy is the
+    /// caller's (the supervisor's) job.
+    pub fn run_partitioned_hub<F, Fut>(
+        spec: &WorldSpec,
+        plan: &PartitionPlan,
+        program: F,
+        workers: Vec<(Box<dyn Read + Send>, Box<dyn Write + Send>)>,
+        jobs: Vec<Vec<u8>>,
+        cfg: ProcessConfig,
+    ) -> Result<(WorldResult, PartitionRunStats, u64), ProcessWorldError>
+    where
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
+    {
+        let setup = PartitionSetup::new(spec, plan, program);
+        let n = setup.partitions;
+        assert_eq!(workers.len(), n - 1, "one worker process per non-hub wheel");
+        let probe = maia_sim::probe::probe_for_current_thread();
+        if let Some(p) = &probe {
+            setup.register_global_names(&**p);
+        }
+        // One remapping wrapper per wheel, wheel 0's feeding live off the
+        // hub engine, the others replay targets for worker probe streams.
+        let pps: Vec<Option<Arc<PartitionProbe>>> = (0..n)
+            .map(|w| {
+                probe.as_ref().map(|p| {
+                    Arc::new(PartitionProbe::new(Arc::clone(p), setup.local_ranks(w)))
+                })
+            })
+            .collect();
+        let mut hub = ProcessCommunicator::<Msg>::connect(n, workers, jobs, cfg)
+            .map_err(|loss| ProcessWorldError::Lost { loss, missed: 0 })?;
+        let wheel0 = setup.build_wheel(0, pps[0].clone().map(|p| p as Arc<dyn Probe>));
+        let report0 = drive_wheel(wheel0, &mut hub, setup.window);
+        let collected = hub.collect_reports();
+        let missed = hub.missed_heartbeats();
+        let worker_reports =
+            collected.map_err(|loss| ProcessWorldError::Lost { loss, missed })?;
+        let mut reports = vec![report0];
+        for (i, (report, extra)) in worker_reports.into_iter().enumerate() {
+            let wheel = i + 1;
+            if setup.apply_worker_extra(&extra, pps[wheel].as_deref()).is_none() {
+                return Err(ProcessWorldError::Lost {
+                    loss: WorkerLoss {
+                        wheel,
+                        window: hub.window(),
+                        at_ps: report.end.as_ps(),
+                        detail: "malformed worker result payload".to_string(),
+                    },
+                    missed,
+                });
+            }
+            reports.push(report);
+        }
+        let bundle = probe.map(|p| ProbeBundle {
+            inner: p,
+            wheel_probes: pps.into_iter().flatten().collect(),
+        });
+        let (end_time, stats) =
+            finalize_partitioned(reports, bundle).map_err(ProcessWorldError::Sim)?;
+        Ok((setup.world_result(end_time), stats, missed))
+    }
+
+    /// Worker side of the multi-process backend: build wheel `wheel` of
+    /// the world, drive it against the hub through `endpoint`, then ship
+    /// the wheel report plus this process's rank results (and, when
+    /// `record_probe` is set, the wheel's recorded probe stream) back in
+    /// the report frame. `kill_at_window` is the chaos-drill hook: the
+    /// process aborts (as if SIGKILLed) right before that exchange.
+    pub fn run_partitioned_worker<F, Fut>(
+        spec: &WorldSpec,
+        plan: &PartitionPlan,
+        program: F,
+        wheel: usize,
+        mut endpoint: WorkerEndpoint<Msg>,
+        record_probe: bool,
+        kill_at_window: Option<u64>,
+    ) -> std::io::Result<()>
+    where
+        F: Fn(Rank) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Rank> + Send + 'static,
+    {
+        let setup = PartitionSetup::new(spec, plan, program);
+        assert!(
+            wheel >= 1 && wheel < setup.partitions,
+            "worker wheel {wheel} out of 1..{}",
+            setup.partitions
+        );
+        let rec = record_probe.then(|| Arc::new(RecordingProbe::new()));
+        let wheel_obj = setup.build_wheel(wheel, rec.clone().map(|r| r as Arc<dyn Probe>));
+        let report = match kill_at_window {
+            Some(at) => {
+                let mut chaos = KillAtWindow {
+                    inner: &mut endpoint,
+                    at,
+                    window: 0,
+                };
+                drive_wheel(wheel_obj, &mut chaos, setup.window)
+            }
+            None => drive_wheel(wheel_obj, &mut endpoint, setup.window),
+        };
+        let probe_bytes = rec.map(|r| r.take()).unwrap_or_default();
+        let extra = setup.encode_worker_extra(wheel, &probe_bytes);
+        endpoint.finish(&report, &extra)
+    }
+}
+
+/// Why a hub-side partitioned run failed.
+#[derive(Debug)]
+pub enum ProcessWorldError {
+    /// The simulation itself failed — deterministic, identical to what
+    /// the in-process backend would report.
+    Sim(SimError),
+    /// A worker process crashed or went silent; the run is incomplete
+    /// and a supervisor may retry it. Carries the heartbeat intervals
+    /// the hub saw missed before declaring the loss, so a supervisor
+    /// can account for them even though the attempt failed.
+    Lost { loss: WorkerLoss, missed: u64 },
+}
+
+impl std::fmt::Display for ProcessWorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessWorldError::Sim(e) => write!(f, "{e}"),
+            ProcessWorldError::Lost { loss, .. } => write!(f, "{loss}"),
+        }
+    }
+}
+
+/// Chaos adapter for the kill drill: behaves exactly like the wrapped
+/// endpoint until exchange number `at`, then dies without ceremony —
+/// no abort frame, no report — like a SIGKILL mid-window.
+struct KillAtWindow<'a> {
+    inner: &'a mut WorkerEndpoint<Msg>,
+    at: u64,
+    window: u64,
+}
+
+impl SimCommunicator<Msg> for KillAtWindow<'_> {
+    fn partition(&self) -> usize {
+        self.inner.partition()
+    }
+    fn partitions(&self) -> usize {
+        self.inner.partitions()
+    }
+    fn exchange(
+        &mut self,
+        outbound: Vec<Vec<RemoteMsg<Msg>>>,
+        floor: Option<u64>,
+    ) -> ExchangeOutcome<Msg> {
+        if self.window >= self.at {
+            // Stop heartbeating too: a killed process emits nothing.
+            self.inner.stop_heartbeats();
+            std::process::abort();
+        }
+        self.window += 1;
+        self.inner.exchange(outbound, floor)
+    }
+    fn abort(&mut self) {
+        self.inner.abort()
+    }
+}
+
+/// The layout and per-rank plumbing of one partitioned world, shared by
+/// the in-process backend (which builds every wheel) and the process
+/// backend (hub builds wheel 0, each worker builds its own). All of it
+/// is a pure function of `(spec, plan, program)`, so every participant
+/// reconstructs the identical world from the job description.
+struct PartitionSetup<F> {
+    size: usize,
+    partitions: usize,
+    window: SimDuration,
+    domain_of: Arc<Vec<usize>>,
+    wheel_of_rank: Arc<Vec<usize>>,
+    transport: Arc<TransportModel>,
+    placements: Arc<Vec<RankPlacement>>,
+    mailboxes: Arc<Vec<SimChannel<Msg>>>,
+    finishes: Arc<Mutex<Vec<f64>>>,
+    stats: Arc<Mutex<Vec<RankStats>>>,
+    program: Arc<F>,
+}
+
+impl<F, Fut> PartitionSetup<F>
+where
+    F: Fn(Rank) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = Rank> + Send + 'static,
+{
+    fn new(spec: &WorldSpec, plan: &PartitionPlan, program: F) -> Self {
         spec.validate();
         let size = spec.size();
-        let partitions = plan.partitions;
         let domain_of = Arc::new(plan.map.assign(spec));
         let ndomains = domain_of.iter().copied().max().unwrap_or(0) + 1;
         let fold = plan.resolve_fold(ndomains);
         let wheel_of_rank: Arc<Vec<usize>> =
             Arc::new(domain_of.iter().map(|&d| fold[d]).collect());
-
         let tpc = [
             spec.threads_per_core(maia_arch::Device::Host),
             spec.threads_per_core(maia_arch::Device::Phi0),
@@ -204,104 +436,142 @@ impl MpiWorld {
         ];
         let transport = Arc::new(TransportModel::new(spec.stack, tpc));
         let window = lookahead(spec, &transport, &domain_of);
-        let placements = Arc::new(spec.placements.clone());
-        let mailboxes: Arc<Vec<SimChannel<Msg>>> = Arc::new(
-            (0..size)
-                .map(|r| SimChannel::new(format!("mbox-{r}")))
-                .collect(),
-        );
-        let finishes = Arc::new(Mutex::new(vec![0.0f64; size]));
-        let stats = Arc::new(Mutex::new(vec![RankStats::default(); size]));
-        let program = Arc::new(program);
-
-        // One experiment probe shared by every wheel; rank names are
-        // registered in global order up front so probe-side tables match
-        // a single-wheel run (per-wheel spawn notifications are
-        // suppressed by the PartitionProbe wrapper).
-        let probe = maia_sim::probe::probe_for_current_thread();
-        if let Some(p) = &probe {
-            for r in 0..size {
-                register_global_process(&**p, r, &format!("rank-{r}"));
-            }
+        PartitionSetup {
+            size,
+            partitions: plan.partitions,
+            window,
+            domain_of,
+            wheel_of_rank,
+            transport,
+            placements: Arc::new(spec.placements.clone()),
+            mailboxes: Arc::new(
+                (0..size)
+                    .map(|r| SimChannel::new(format!("mbox-{r}")))
+                    .collect(),
+            ),
+            finishes: Arc::new(Mutex::new(vec![0.0f64; size])),
+            stats: Arc::new(Mutex::new(vec![RankStats::default(); size])),
+            program: Arc::new(program),
         }
+    }
 
-        let mut wheels: Vec<Wheel<Msg>> = Vec::with_capacity(partitions);
-        let mut wheel_probes = Vec::new();
-        for w in 0..partitions {
-            let local_ranks: Vec<usize> =
-                (0..size).filter(|&r| wheel_of_rank[r] == w).collect();
-            let mut engine = match &probe {
-                Some(p) => {
-                    let pp = Arc::new(PartitionProbe::new(Arc::clone(p), local_ranks.clone()));
-                    wheel_probes.push(Arc::clone(&pp));
-                    Engine::with_probe(Some(pp))
-                }
-                None => Engine::with_probe(None),
-            };
-            let outbox = Outbox::<Msg>::new(partitions);
-            for &rank_id in &local_ranks {
-                let transport = Arc::clone(&transport);
-                let placements = Arc::clone(&placements);
-                let mailboxes = Arc::clone(&mailboxes);
-                let finishes = Arc::clone(&finishes);
-                let stats = Arc::clone(&stats);
-                let program = Arc::clone(&program);
-                let domain_of = Arc::clone(&domain_of);
-                let wheel_of_rank = Arc::clone(&wheel_of_rank);
-                let outbox = outbox.clone();
-                engine.spawn_inline(format!("rank-{rank_id}"), move |ctx| async move {
-                    let started = ctx.now();
-                    let my_domain = domain_of[rank_id];
-                    let rank = Rank {
-                        ctx: ctx.clone(),
-                        rank: rank_id,
-                        size,
-                        placements,
-                        transport,
-                        mailboxes,
-                        unexpected: Vec::new(),
-                        stats: RankStats::default(),
-                        partition: Some(PartitionIo {
-                            domain_of,
-                            wheel_of_rank,
-                            my_domain,
-                            outbox,
-                            seq: 0,
-                        }),
-                    };
-                    let rank = program(rank).await;
-                    finishes.lock()[rank_id] = ctx.now().as_secs_f64();
-                    stats.lock()[rank_id] = rank.stats;
-                    ctx.emit_span(&format!("rank-{rank_id}"), started);
-                });
-            }
-            let mailboxes = Arc::clone(&mailboxes);
-            wheels.push(Wheel {
-                engine,
-                outbox,
-                deliver: Arc::new(move |ictx: &InjectCtx<'_>, slot: usize, msg: Msg| {
-                    mailboxes[slot].send_injected(ictx, msg);
-                }),
+    /// Global ranks living on wheel `w`, ascending.
+    fn local_ranks(&self, w: usize) -> Vec<usize> {
+        (0..self.size).filter(|&r| self.wheel_of_rank[r] == w).collect()
+    }
+
+    fn register_global_names(&self, probe: &dyn Probe) {
+        for r in 0..self.size {
+            register_global_process(probe, r, &format!("rank-{r}"));
+        }
+    }
+
+    /// Build one wheel: an engine carrying this wheel's ranks as inline
+    /// processes, the shared outbox, and the mailbox delivery hook.
+    fn build_wheel(&self, w: usize, engine_probe: Option<Arc<dyn Probe>>) -> Wheel<Msg> {
+        let mut engine = Engine::with_probe(engine_probe);
+        let outbox = Outbox::<Msg>::new(self.partitions);
+        let size = self.size;
+        for rank_id in self.local_ranks(w) {
+            let transport = Arc::clone(&self.transport);
+            let placements = Arc::clone(&self.placements);
+            let mailboxes = Arc::clone(&self.mailboxes);
+            let finishes = Arc::clone(&self.finishes);
+            let stats = Arc::clone(&self.stats);
+            let program = Arc::clone(&self.program);
+            let domain_of = Arc::clone(&self.domain_of);
+            let wheel_of_rank = Arc::clone(&self.wheel_of_rank);
+            let outbox = outbox.clone();
+            engine.spawn_inline(format!("rank-{rank_id}"), move |ctx| async move {
+                let started = ctx.now();
+                let my_domain = domain_of[rank_id];
+                let rank = Rank {
+                    ctx: ctx.clone(),
+                    rank: rank_id,
+                    size,
+                    placements,
+                    transport,
+                    mailboxes,
+                    unexpected: Vec::new(),
+                    stats: RankStats::default(),
+                    partition: Some(PartitionIo {
+                        domain_of,
+                        wheel_of_rank,
+                        my_domain,
+                        outbox,
+                        seq: 0,
+                    }),
+                };
+                let rank = program(rank).await;
+                finishes.lock()[rank_id] = ctx.now().as_secs_f64();
+                stats.lock()[rank_id] = rank.stats;
+                ctx.emit_span(&format!("rank-{rank_id}"), started);
             });
         }
+        let mailboxes = Arc::clone(&self.mailboxes);
+        Wheel {
+            engine,
+            outbox,
+            deliver: Arc::new(move |ictx: &InjectCtx<'_>, slot: usize, msg: Msg| {
+                mailboxes[slot].send_injected(ictx, msg);
+            }),
+        }
+    }
 
-        let bundle = probe.map(|p| ProbeBundle { inner: p, wheel_probes });
-        let (end_time, run_stats) = maia_sim::partition::run_partitioned(
-            wheels,
-            local_bus::<Msg>(partitions),
-            window,
-            bundle,
-        )?;
-        let rank_finish_s = finishes.lock().clone();
-        let rank_stats = stats.lock().clone();
-        Ok((
-            WorldResult {
-                end_time,
-                rank_finish_s,
-                rank_stats,
-            },
-            run_stats,
-        ))
+    fn world_result(&self, end_time: SimTime) -> WorldResult {
+        WorldResult {
+            end_time,
+            rank_finish_s: self.finishes.lock().clone(),
+            rank_stats: self.stats.lock().clone(),
+        }
+    }
+
+    /// Worker→hub result payload: `(rank, finish_s, comm_s, compute_s)`
+    /// for every local rank, then the recorded probe stream.
+    fn encode_worker_extra(&self, wheel: usize, probe_bytes: &[u8]) -> Vec<u8> {
+        let locals = self.local_ranks(wheel);
+        let finishes = self.finishes.lock();
+        let stats = self.stats.lock();
+        let mut out = Vec::new();
+        wire::put_u32(&mut out, locals.len() as u32);
+        for &r in &locals {
+            wire::put_u32(&mut out, r as u32);
+            wire::put_f64(&mut out, finishes[r]);
+            wire::put_f64(&mut out, stats[r].comm_s);
+            wire::put_f64(&mut out, stats[r].compute_s);
+        }
+        wire::put_bytes(&mut out, probe_bytes);
+        out
+    }
+
+    /// Merge one worker's result payload into the hub's tables and
+    /// replay its probe stream through the wheel's remapping wrapper.
+    /// `None` on a malformed payload.
+    fn apply_worker_extra(&self, extra: &[u8], pp: Option<&PartitionProbe>) -> Option<()> {
+        let mut r = wire::Reader::new(extra);
+        let n = r.take_u32()? as usize;
+        {
+            let mut finishes = self.finishes.lock();
+            let mut stats = self.stats.lock();
+            for _ in 0..n {
+                let rank = r.take_u32()? as usize;
+                if rank >= self.size {
+                    return None;
+                }
+                finishes[rank] = r.take_f64()?;
+                stats[rank] = RankStats {
+                    comm_s: r.take_f64()?,
+                    compute_s: r.take_f64()?,
+                };
+            }
+        }
+        let probe_bytes = r.take_bytes()?;
+        if let Some(pp) = pp {
+            if !replay_probe(&probe_bytes, pp) {
+                return None;
+            }
+        }
+        Some(())
     }
 }
 

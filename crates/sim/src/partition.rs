@@ -31,6 +31,8 @@
 //! therefore bit-for-bit identical across partition counts *and* across
 //! repeated runs.
 
+pub mod process;
+
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,6 +42,8 @@ use parking_lot::Mutex;
 use crate::engine::{Engine, InjectCtx, ProcessId, SimError};
 use crate::probe::Probe;
 use crate::time::{SimDuration, SimTime};
+
+pub use process::{ProcessCommunicator, ProcessConfig, WorkerEndpoint, WorkerLoss};
 
 /// A cross-partition simulated message in flight.
 #[derive(Debug)]
@@ -100,6 +104,25 @@ pub trait SimCommunicator<T>: Send {
     /// Tell every peer this partition died, so their blocking exchanges
     /// return [`ExchangeOutcome::Aborted`] instead of hanging.
     fn abort(&mut self);
+}
+
+/// A mutable borrow drives the protocol exactly like the owned value —
+/// lets callers keep the communicator (e.g. to collect worker reports)
+/// after [`drive_wheel`] returns.
+impl<T, C: SimCommunicator<T>> SimCommunicator<T> for &mut C {
+    fn partition(&self) -> usize {
+        (**self).partition()
+    }
+    fn partitions(&self) -> usize {
+        (**self).partitions()
+    }
+    fn exchange(&mut self, outbound: Vec<Vec<RemoteMsg<T>>>, floor: Option<u64>)
+        -> ExchangeOutcome<T> {
+        (**self).exchange(outbound, floor)
+    }
+    fn abort(&mut self) {
+        (**self).abort()
+    }
 }
 
 enum Packet<T> {
@@ -441,25 +464,47 @@ pub struct PartitionRunStats {
     pub wheels: Vec<WheelStats>,
 }
 
-enum DriveStatus {
+/// How one wheel's drive loop ended.
+#[derive(Debug)]
+pub enum DriveStatus {
+    /// The global floor went infinite: the world completed.
     Completed,
+    /// This wheel's engine failed.
     Error(SimError),
+    /// A peer aborted; this wheel stopped without an error of its own.
     PeerAborted,
 }
 
-struct WheelReport {
-    status: DriveStatus,
-    blocked: Vec<String>,
-    end: SimTime,
-    windows: u64,
-    stats: WheelStats,
+/// Everything [`finalize_partitioned`] needs to know about one wheel's
+/// run — produced locally by [`drive_wheel`], or decoded from a worker
+/// process's report frame.
+pub struct WheelReport {
+    /// How the drive loop ended.
+    pub status: DriveStatus,
+    /// Processes still blocked when the wheel stopped.
+    pub blocked: Vec<String>,
+    /// The wheel's final virtual time.
+    pub end: SimTime,
+    /// Lookahead windows executed.
+    pub windows: u64,
+    /// Wall-side statistics.
+    pub stats: WheelStats,
 }
 
-fn drive<T, C>(mut wheel: Wheel<T>, mut comm: C, lookahead: SimDuration) -> WheelReport
+/// Drive one wheel of a sharded world to completion through `comm` —
+/// the per-wheel loop [`run_partitioned`] runs on each pooled worker,
+/// public so a *worker process* can drive its single wheel against a
+/// [`WorkerEndpoint`].
+pub fn drive_wheel<T, C>(mut wheel: Wheel<T>, mut comm: C, lookahead: SimDuration) -> WheelReport
 where
     T: Send + 'static,
     C: SimCommunicator<T>,
 {
+    assert!(
+        lookahead.as_ps() > 0,
+        "partition lookahead must be positive: a zero-latency cross-domain link \
+         admits no conservative window"
+    );
     let mut windows = 0u64;
     let mut messages_out = 0u64;
     let mut stall_wall_ns = 0u64;
@@ -562,17 +607,29 @@ where
     for (i, (wheel, comm)) in pairs.into_iter().enumerate() {
         let done_tx = done_tx.clone();
         crate::pool::run_job(Box::new(move || {
-            let report = drive(wheel, comm, lookahead);
+            let report = drive_wheel(wheel, comm, lookahead);
             let _ = done_tx.send((i + 1, report));
         }));
     }
-    reports[0] = Some(drive(head.0, head.1, lookahead));
+    reports[0] = Some(drive_wheel(head.0, head.1, lookahead));
     for _ in 1..n {
         let (i, report) = done_rx.recv().expect("wheel driver vanished");
         reports[i] = Some(report);
     }
     let reports: Vec<WheelReport> = reports.into_iter().map(|r| r.expect("all wheels reported")).collect();
+    finalize_partitioned(reports, probes)
+}
 
+/// Merge per-wheel reports into the run result: earliest real error
+/// wins (by virtual time, then wheel index), leftover blocked processes
+/// merge into one deadlock, buffered probe spans flush globally sorted.
+/// Shared by [`run_partitioned`] and the process backend, whose worker
+/// reports arrive over the wire instead of from pooled threads.
+pub fn finalize_partitioned(
+    reports: Vec<WheelReport>,
+    probes: Option<ProbeBundle>,
+) -> Result<(SimTime, PartitionRunStats), SimError> {
+    let n = reports.len();
     // A wheel that saw PeerAborted stopped because of someone else's
     // failure; surface the earliest real error (by virtual time, then
     // wheel index) so the reported failure is deterministic.

@@ -118,6 +118,62 @@ fn watchdog_times_out_hung_experiment() {
     assert!(f.wall.as_secs_f64() >= 1.0, "watchdog fired early");
 }
 
+/// Regression (satellite of the process-backend PR): two consecutive
+/// forced-hang experiments must not interleave — each timeout names its
+/// own experiment, the first guard thread is cancelled and reaped
+/// before (or while) the second runs, and no `maia-exp-*` zombie
+/// survives the sweep to bleed state into later experiments.
+#[test]
+fn consecutive_hangs_are_reaped_and_do_not_interleave() {
+    let _g = serialize();
+    let first = ExperimentId::F5Latency;
+    let second = ExperimentId::F17Io;
+    force_failure_for_tests(first, Some(ForcedFailure::Hang));
+    force_failure_for_tests(second, Some(ForcedFailure::Hang));
+    std::env::set_var("MAIA_EXPERIMENT_TIMEOUT_S", "1");
+
+    // Serial on purpose: the second hang starts only after the first
+    // timeout was declared, which is exactly the "abandoned guard runs
+    // into the next experiment" shape the old watchdog leaked under.
+    let report_a = run_experiments_parallel(&[first, ExperimentId::T1Table], 1);
+    let report_b = run_experiments_parallel(&[second, ExperimentId::F4Stream], 1);
+
+    std::env::remove_var("MAIA_EXPERIMENT_TIMEOUT_S");
+    force_failure_for_tests(first, None);
+    force_failure_for_tests(second, None);
+
+    for (report, hanger, survivor) in [
+        (&report_a, first, ExperimentId::T1Table),
+        (&report_b, second, ExperimentId::F4Stream),
+    ] {
+        assert_eq!(report.failures.len(), 1, "{hanger:?} sweep failures");
+        let f = &report.failures[0];
+        assert_eq!(f.id, hanger, "failure attributed to the wrong experiment");
+        assert_eq!(f.kind, FailureKind::Timeout);
+        assert!(
+            f.detail.contains("cancelled and reaped"),
+            "hung guard should be cancelled at the watchdog, got: {:?}",
+            f.detail
+        );
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.runs[0].id, survivor);
+    }
+
+    // Failure details never mention the *other* hanging experiment.
+    assert!(!report_b.failures[0].detail.contains("F5"));
+    assert!(!report_a.failures[0].detail.contains("F17"));
+
+    // Both guard threads were joined: nothing left running under a
+    // maia-exp-* name.
+    let stats = maia_core::executor::watchdog_stats();
+    assert_eq!(
+        maia_core::executor::zombie_guard_codes(),
+        Vec::<&str>::new(),
+        "guard threads leaked past their watchdogs"
+    );
+    assert!(stats.reaped >= 2, "expected both hung guards reaped, got {stats:?}");
+}
+
 /// A clean sweep reports no failures and `run_one` still works.
 #[test]
 fn clean_sweep_has_no_failures() {
